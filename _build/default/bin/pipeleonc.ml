@@ -1,0 +1,281 @@
+(* pipeleonc: the offline Pipeleon optimizer CLI.
+
+   Reads a program in the JSON intermediate format (what a P4 compiler
+   front-end would emit), optionally a profile, optimizes, and writes the
+   rewritten JSON — the source-to-source flow of §5.1. Also exposes
+   inspection subcommands (pipelets, cost estimation, validation). *)
+
+open Cmdliner
+
+(* Programs load from the JSON IR or from P4-lite source, by extension. *)
+let read_program path =
+  if Filename.check_suffix path ".p4l" then P4lite.Lower.load_file path
+  else P4ir.Serialize.load path
+
+let write_program path prog =
+  let text =
+    if Filename.check_suffix path ".p4l" then P4lite.Emit.emit prog
+    else P4ir.Serialize.to_string prog
+  in
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text)
+
+let target_of_name = function
+  | "bluefield2" | "bf2" -> Ok Costmodel.Target.bluefield2
+  | "agilio" | "agilio_cx" -> Ok Costmodel.Target.agilio_cx
+  | "emulated" | "emulated_nic" | "bmv2" -> Ok Costmodel.Target.emulated_nic
+  | s -> Error (`Msg ("unknown target: " ^ s ^ " (bluefield2|agilio|emulated)"))
+
+let target_conv = Arg.conv (target_of_name, fun fmt t -> Costmodel.Target.pp fmt t)
+
+let program_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"PROGRAM.json")
+
+let target_arg =
+  Arg.(value & opt target_conv Costmodel.Target.bluefield2
+       & info [ "t"; "target" ] ~docv:"TARGET" ~doc:"Target NIC model.")
+
+(* Profiles are provided as a small JSON file:
+   {"tables": {"name": {"actions": {"a": 0.7, ...}, "update_rate": 1.0,
+   "locality": 0.9}}, "conds": {"c": 0.3}} *)
+let profile_of_json prog json =
+  let open P4ir.Json in
+  let prof = ref (Profile.uniform prog) in
+  (match member_opt "tables" json with
+   | Some (Obj tables) ->
+     List.iter
+       (fun (name, tj) ->
+         let actions =
+           match member_opt "actions" tj with
+           | Some (Obj actions) -> List.map (fun (a, p) -> (a, get_float p)) actions
+           | _ -> []
+         in
+         let update_rate =
+           match member_opt "update_rate" tj with Some v -> get_float v | None -> 0.
+         in
+         let locality =
+           match member_opt "locality" tj with Some v -> get_float v | None -> -1.
+         in
+         prof :=
+           Profile.set_table name
+             { Profile.action_probs = actions; update_rate; locality }
+             !prof)
+       tables
+   | _ -> ());
+  (match member_opt "conds" json with
+   | Some (Obj conds) ->
+     List.iter
+       (fun (name, p) ->
+         prof := Profile.set_cond name { Profile.true_prob = P4ir.Json.get_float p } !prof)
+       conds
+   | _ -> ());
+  !prof
+
+let load_profile prog = function
+  | None -> Profile.uniform prog
+  | Some path ->
+    let ic = open_in path in
+    let content =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    profile_of_json prog (P4ir.Json.of_string_exn content)
+
+let profile_arg =
+  Arg.(value & opt (some file) None
+       & info [ "p"; "profile" ] ~docv:"PROFILE.json" ~doc:"Runtime profile.")
+
+let optimize_cmd =
+  let output_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"OUT.json" ~doc:"Output path (default stdout).")
+  in
+  let top_k_arg =
+    Arg.(value & opt float 0.2
+         & info [ "k"; "top-k" ] ~docv:"FRACTION" ~doc:"Fraction of pipelets to optimize.")
+  in
+  let mem_arg =
+    Arg.(value & opt int Costmodel.Resource.default_budget.Costmodel.Resource.memory_bytes
+         & info [ "memory" ] ~docv:"BYTES" ~doc:"Memory budget.")
+  in
+  let upd_arg =
+    Arg.(value & opt float Costmodel.Resource.default_budget.Costmodel.Resource.updates_per_sec
+         & info [ "updates" ] ~docv:"RATE" ~doc:"Entry-update budget (per second).")
+  in
+  let run path target profile_path top_k memory updates output =
+    let prog = read_program path in
+    let prof = load_profile prog profile_path in
+    let config =
+      { Pipeleon.Optimizer.default_config with
+        top_k;
+        budget = { Costmodel.Resource.memory_bytes = memory; updates_per_sec = updates } }
+    in
+    let result = Pipeleon.Optimizer.optimize ~config target prof prog in
+    prerr_string (Pipeleon.Optimizer.describe result);
+    (match output with
+     | Some out -> write_program out result.Pipeleon.Optimizer.program
+     | None -> print_string (P4ir.Serialize.to_string result.Pipeleon.Optimizer.program))
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:
+         "Optimize a program for a SmartNIC target. Input and output may be \
+          the JSON IR (.json) or P4-lite source (.p4l).")
+    Term.(const run $ program_arg $ target_arg $ profile_arg $ top_k_arg $ mem_arg
+          $ upd_arg $ output_arg)
+
+let cost_cmd =
+  let run path target profile_path =
+    let prog = read_program path in
+    let prof = load_profile prog profile_path in
+    let latency = Costmodel.Cost.expected_latency target prof prog in
+    Printf.printf "expected latency: %.3f units\n" latency;
+    Printf.printf "throughput estimate: %.1f Gbps\n"
+      (Costmodel.Target.throughput_gbps target ~latency);
+    Printf.printf "memory: %d bytes\n" (Costmodel.Resource.program_memory target prog)
+  in
+  Cmd.v
+    (Cmd.info "cost" ~doc:"Estimate a program's cost under the model.")
+    Term.(const run $ program_arg $ target_arg $ profile_arg)
+
+let pipelets_cmd =
+  let run path target profile_path =
+    let prog = read_program path in
+    let prof = load_profile prog profile_path in
+    let pipelets = Pipeleon.Pipelet.form prog in
+    let hots = Pipeleon.Hotspot.rank target prof prog pipelets in
+    List.iter
+      (fun (h : Pipeleon.Hotspot.hot) ->
+        Format.printf "%a cost=%.3f reach=%.3f@." Pipeleon.Pipelet.pp h.pipelet
+          h.weighted_cost h.reach_prob)
+      hots
+  in
+  Cmd.v
+    (Cmd.info "pipelets" ~doc:"Show pipelets ranked by hotspot cost.")
+    Term.(const run $ program_arg $ target_arg $ profile_arg)
+
+let profile_to_json prog prof =
+  let open P4ir.Json in
+  let tables =
+    List.map
+      (fun (_, (tab : P4ir.Table.t)) ->
+        let actions =
+          List.map
+            (fun (a : P4ir.Action.t) ->
+              (a.name, Float (Profile.action_prob prof ~table:tab ~action:a.name)))
+            tab.actions
+        in
+        let fields =
+          [ ("actions", Obj actions);
+            ("update_rate", Float (Profile.update_rate prof ~table_name:tab.name)) ]
+        in
+        let fields =
+          match Profile.locality prof ~table_name:tab.name with
+          | Some l -> fields @ [ ("locality", Float l) ]
+          | None -> fields
+        in
+        (tab.name, Obj fields))
+      (P4ir.Program.tables prog)
+  in
+  let conds =
+    List.map
+      (fun (_, (c : P4ir.Program.cond)) ->
+        (c.cond_name, Float (Profile.true_prob prof ~cond_name:c.cond_name)))
+      (P4ir.Program.conds prog)
+  in
+  Obj [ ("tables", Obj tables); ("conds", Obj conds) ]
+
+let profile_cmd =
+  let trace_arg =
+    Arg.(required & opt (some file) None
+         & info [ "trace" ] ~docv:"TRACE.csv" ~doc:"Packet trace to replay (Traffic.Trace CSV).")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"PROFILE.json" ~doc:"Where to write the profile.")
+  in
+  let packets_arg =
+    Arg.(value & opt int 10_000 & info [ "packets" ] ~docv:"N" ~doc:"Packets to simulate.")
+  in
+  let run path target trace_path packets output =
+    let prog = read_program path in
+    let trace = Traffic.Trace.load trace_path in
+    let sim = Nicsim.Sim.create target prog in
+    let stats =
+      Nicsim.Sim.run_window sim ~duration:1.0 ~packets
+        ~source:(Traffic.Trace.replay trace)
+    in
+    Printf.eprintf "simulated %d packets: latency %.2f, throughput %.1f Gbps, drops %.1f%%\n"
+      packets stats.Nicsim.Sim.avg_latency stats.Nicsim.Sim.throughput_gbps
+      (stats.Nicsim.Sim.drop_fraction *. 100.);
+    let prof = Nicsim.Sim.current_profile sim in
+    let json = P4ir.Json.to_string ~indent:2 (profile_to_json prog prof) in
+    match output with
+    | Some out ->
+      let oc = open_out out in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc json)
+    | None -> print_string json
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Replay a trace against a program in the simulator and emit the runtime \
+          profile that `optimize -p` consumes.")
+    Term.(const run $ program_arg $ target_arg $ trace_arg $ packets_arg $ out_arg)
+
+let graph_cmd =
+  let deps_arg =
+    Arg.(value & flag
+         & info [ "deps" ] ~doc:"Emit the table dependency graph instead of the program DAG.")
+  in
+  let run path target profile_path deps =
+    let prog = read_program path in
+    if deps then print_string (P4ir.Dot.dependencies prog)
+    else begin
+      ignore target;
+      let prog_reach =
+        let prof = load_profile prog profile_path in
+        let reach = Costmodel.Cost.reach_probs prof prog in
+        fun id -> List.assoc_opt id reach
+      in
+      print_string (P4ir.Dot.program ~reach:prog_reach prog)
+    end
+  in
+  Cmd.v
+    (Cmd.info "graph" ~doc:"Emit Graphviz DOT for the program or its dependencies.")
+    Term.(const run $ program_arg $ target_arg $ profile_arg $ deps_arg)
+
+let translate_cmd =
+  let output_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"OUT.{json|p4l}")
+  in
+  let run path output =
+    write_program output (read_program path)
+  in
+  Cmd.v
+    (Cmd.info "translate" ~doc:"Convert between P4-lite source and the JSON IR.")
+    Term.(const run $ program_arg $ output_arg)
+
+let validate_cmd =
+  let run path =
+    let prog = read_program path in
+    match P4ir.Program.validate prog with
+    | Ok () ->
+      Printf.printf "ok: %d nodes, %d tables\n" (P4ir.Program.num_nodes prog)
+        (List.length (P4ir.Program.tables prog))
+    | Error msg ->
+      Printf.eprintf "invalid: %s\n" msg;
+      exit 1
+  in
+  Cmd.v (Cmd.info "validate" ~doc:"Validate a program file.") Term.(const run $ program_arg)
+
+let () =
+  let info =
+    Cmd.info "pipeleonc" ~version:"1.0.0"
+      ~doc:"Profile-guided P4 optimizer for SmartNICs (Pipeleon reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ optimize_cmd; cost_cmd; profile_cmd; pipelets_cmd; graph_cmd; translate_cmd; validate_cmd ]))

@@ -1,0 +1,1 @@
+examples/dash_routing.ml: Array Costmodel Format Int64 List Nicsim P4ir Pipeleon Printf Profile Stdx Traffic

@@ -1,0 +1,1 @@
+examples/load_balancer.ml: Array Costmodel Format Int64 List Nicsim P4ir Pipeleon Printf Runtime Stdx Traffic

@@ -1,0 +1,1 @@
+examples/nf_composition.ml: Array Costmodel List Nicsim P4ir Pipeleon Printf Profile Stdx String Traffic

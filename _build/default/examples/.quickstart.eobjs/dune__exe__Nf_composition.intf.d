@@ -1,0 +1,1 @@
+examples/nf_composition.mli:

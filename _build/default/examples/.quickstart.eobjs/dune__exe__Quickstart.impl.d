@@ -1,0 +1,1 @@
+examples/quickstart.ml: Costmodel Format Nicsim P4ir Pipeleon Printf Profile Stdx String Traffic

@@ -1,0 +1,1 @@
+examples/toolchain.ml: Costmodel Fun List Nicsim P4ir P4lite Pipeleon Printf Stdx Sys Traffic

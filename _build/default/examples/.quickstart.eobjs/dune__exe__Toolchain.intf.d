@@ -1,0 +1,1 @@
+examples/toolchain.mli:

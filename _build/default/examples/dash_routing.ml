@@ -1,0 +1,96 @@
+(* DASH-style cloud-gateway pipeline (§5.3.2): direction lookup, metadata
+   setup, connection tracking, three ACL levels, and LPM routing — then a
+   one-shot profile-guided optimization and a before/after comparison on
+   the Agilio-like target.
+
+   Run with: dune exec examples/dash_routing.exe *)
+
+let deny = 0xBADL
+
+let program () =
+  let exact name field entries =
+    P4ir.Table.make ~name
+      ~keys:[ P4ir.Builder.exact_key field ]
+      ~actions:[ P4ir.Builder.forward_action "set"; P4ir.Action.nop "skip" ]
+      ~default_action:"skip"
+      ~entries:
+        (List.init entries (fun j -> P4ir.Table.entry [ P4ir.Pattern.Exact (Int64.of_int j) ] "set"))
+      ()
+  in
+  let acl level field =
+    let base =
+      P4ir.Builder.acl_table ~name:(Printf.sprintf "acl_level%d" level)
+        ~keys:[ P4ir.Builder.ternary_key field ] ()
+    in
+    List.fold_left
+      (fun tab mask ->
+        P4ir.Table.add_entry tab
+          (P4ir.Table.entry ~priority:1
+             [ P4ir.Pattern.Ternary (Int64.logand deny mask, mask) ]
+             "deny"))
+      base [ 0xFFFL; 0xFFEL; 0xFFCL ]
+  in
+  let routing =
+    P4ir.Table.make ~name:"outbound_routing"
+      ~keys:[ P4ir.Builder.lpm_key P4ir.Field.Ipv4_dst ]
+      ~actions:[ P4ir.Builder.forward_action "route"; P4ir.Action.drop_action ]
+      ~default_action:"drop"
+      ~entries:
+        (List.init 12 (fun j ->
+             let len = [| 8; 16; 24 |].(j mod 3) in
+             P4ir.Table.entry
+               [ P4ir.Pattern.Lpm (Int64.shift_left (Int64.of_int (j + 1)) (32 - len), len) ]
+               "route"))
+      ()
+  in
+  P4ir.Program.linear "dash"
+    [ exact "direction_lookup" P4ir.Field.Ingress_port 2;
+      exact "eni_lookup" P4ir.Field.Eth_dst 4;
+      exact "vni_mapping" P4ir.Field.Ipv4_dscp 4;
+      exact "conntrack" P4ir.Field.Tcp_sport 64;
+      acl 1 P4ir.Field.Ipv4_src;
+      acl 2 P4ir.Field.Ipv4_dst;
+      acl 3 P4ir.Field.Tcp_sport;
+      routing ]
+
+let () =
+  let target = Costmodel.Target.agilio_cx in
+  let prog = program () in
+
+  (* Collect a real profile by running traffic through the instrumented
+     program, exactly as the runtime would. *)
+  let sim = Nicsim.Sim.create target prog in
+  let rng = Stdx.Prng.create 3L in
+  let flows =
+    Traffic.Workload.random_flows rng ~n:256
+      ~fields:[ P4ir.Field.Ipv4_src; P4ir.Field.Ipv4_dst; P4ir.Field.Tcp_sport ]
+  in
+  let source =
+    Traffic.Workload.mark_fraction rng ~rate:0.5 ~field:P4ir.Field.Tcp_sport ~value:deny
+      (Traffic.Workload.of_flows ~zipf_s:1.3 rng flows)
+  in
+  let before = Nicsim.Sim.run_window sim ~duration:5.0 ~packets:5000 ~source in
+  let profile = Nicsim.Sim.current_profile sim in
+  Printf.printf "observed profile:\n%s\n" (Format.asprintf "%a" Profile.pp profile);
+
+  let result =
+    Pipeleon.Optimizer.optimize
+      ~config:
+        { Pipeleon.Optimizer.default_config with
+          top_k = 1.0;
+          candidate_opts =
+            { Pipeleon.Candidate.default_options with max_merge_len = 3 } }
+      target profile prog
+  in
+  print_string (Pipeleon.Optimizer.describe result);
+
+  (* Deploy and re-measure. *)
+  Nicsim.Sim.reconfigure sim result.Pipeleon.Optimizer.program;
+  (* Warm caches, then measure. *)
+  ignore (Nicsim.Sim.run_window sim ~duration:5.0 ~packets:5000 ~source);
+  let after = Nicsim.Sim.run_window sim ~duration:5.0 ~packets:5000 ~source in
+  Printf.printf "\nbefore: %.1f Gbps (latency %.1f)\n" before.Nicsim.Sim.throughput_gbps
+    before.Nicsim.Sim.avg_latency;
+  Printf.printf "after:  %.1f Gbps (latency %.1f)  -> %.0f%% improvement\n"
+    after.Nicsim.Sim.throughput_gbps after.Nicsim.Sim.avg_latency
+    ((after.Nicsim.Sim.throughput_gbps /. before.Nicsim.Sim.throughput_gbps -. 1.) *. 100.)

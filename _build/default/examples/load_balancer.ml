@@ -1,0 +1,100 @@
+(* A service load balancer under runtime churn (the §5.3.1 scenario,
+   condensed): the Pipeleon runtime controller keeps re-optimizing as the
+   control plane inserts backend entries and the traffic mix shifts.
+
+   Run with: dune exec examples/load_balancer.exe *)
+
+let fields = [ P4ir.Field.Ipv4_src; P4ir.Field.Ipv4_dst; P4ir.Field.Tcp_sport; P4ir.Field.Tcp_dport ]
+
+let build () =
+  let vip =
+    P4ir.Table.make ~name:"vip_match"
+      ~keys:[ P4ir.Builder.exact_key P4ir.Field.Ipv4_dst ]
+      ~actions:
+        [ P4ir.Action.make "to_backend" [ P4ir.Action.Set_from (P4ir.Field.Meta 0, P4ir.Field.Tcp_sport) ];
+          P4ir.Action.nop "not_vip" ]
+      ~default_action:"not_vip"
+      ~entries:
+        (List.init 8 (fun i ->
+             P4ir.Table.entry [ P4ir.Pattern.Exact (Int64.of_int (0x0A000100 + i)) ] "to_backend"))
+      ()
+  in
+  let backend =
+    P4ir.Table.make ~name:"backend_select"
+      ~keys:[ P4ir.Builder.exact_key (P4ir.Field.Meta 0) ]
+      ~actions:[ P4ir.Builder.forward_action "pick"; P4ir.Action.nop "none" ]
+      ~default_action:"none" ()
+  in
+  let conntrack =
+    P4ir.Table.make ~name:"conntrack"
+      ~keys:[ P4ir.Builder.exact_key P4ir.Field.Tcp_sport ]
+      ~actions:[ P4ir.Action.nop "known"; P4ir.Action.nop "new_flow" ]
+      ~default_action:"new_flow" ()
+  in
+  let acl =
+    P4ir.Table.add_entry
+      (P4ir.Builder.acl_table ~name:"edge_acl"
+         ~keys:[ P4ir.Builder.ternary_key P4ir.Field.Udp_dport ] ())
+      (P4ir.Table.entry ~priority:1 [ P4ir.Pattern.Ternary (0xDEADL, 0xFFFFL) ] "deny")
+  in
+  let procs =
+    List.init 6 (fun i ->
+        P4ir.Table.make
+          ~name:(Printf.sprintf "fw_stage%d" i)
+          ~keys:[ P4ir.Builder.ternary_key (List.nth fields (i mod 4)) ]
+          ~actions:[ P4ir.Builder.forward_action "ok"; P4ir.Action.nop "def" ]
+          ~default_action:"def"
+          ~entries:
+            (List.init 8 (fun j ->
+                 let mask = [| 0xFFL; 0xFF00L; 0xFFFFL; 0xFF0000L |].(j mod 4) in
+                 P4ir.Table.entry ~priority:j
+                   [ P4ir.Pattern.Ternary (Int64.of_int (j * 11), mask) ]
+                   "ok"))
+          ())
+  in
+  P4ir.Program.linear "load_balancer" (procs @ [ conntrack; vip; backend; acl ])
+
+let () =
+  let target = Costmodel.Target.bluefield2 in
+  let sim = Nicsim.Sim.create target (build ()) in
+  let controller =
+    Runtime.Controller.create
+      ~config:
+        { Runtime.Controller.default_config with
+          min_relative_gain = 0.02;
+          optimizer = { Pipeleon.Optimizer.default_config with top_k = 1.0 } }
+      sim ~original:(build ())
+  in
+  let rng = Stdx.Prng.create 99L in
+  let flows = Traffic.Workload.random_flows rng ~n:512 ~fields in
+  Printf.printf "%-6s %-12s %-10s %-8s %s\n" "t(s)" "thr(Gbps)" "reopt" "gen" "notes";
+  for w = 0 to 11 do
+    let churn = w >= 4 && w < 8 in
+    (* Control-plane churn: new backends arrive fast for a while. *)
+    if churn then
+      for i = 0 to 24 do
+        Runtime.Controller.insert controller ~table:"backend_select"
+          (P4ir.Table.entry
+             [ P4ir.Pattern.Exact (Int64.of_int (10_000 + (w * 100) + i)) ]
+             "pick")
+      done;
+    let source = Traffic.Workload.of_flows ~zipf_s:1.2 rng flows in
+    let stats =
+      Nicsim.Sim.run_window sim ~duration:2.0 ~packets:1500 ~source
+    in
+    let report = Runtime.Controller.tick controller in
+    Printf.printf "%-6.1f %-12.1f %-10b %-8d %s\n" (2.0 *. float_of_int w)
+      stats.Nicsim.Sim.throughput_gbps report.Runtime.Controller.reoptimized
+      (Runtime.Controller.generation controller)
+      (if churn then "entry churn" else "");
+    List.iter
+      (fun issue -> Format.printf "        issue: %a@." Runtime.Monitor.pp_issue issue)
+      report.Runtime.Controller.issues
+  done;
+  Printf.printf "\nfinal layout:\n%!";
+  List.iter
+    (fun (_, (t : P4ir.Table.t)) ->
+      match t.role with
+      | P4ir.Table.Regular -> ()
+      | _ -> Format.printf "  %a@." P4ir.Table.pp t)
+    (P4ir.Program.tables (Runtime.Controller.deployed_program controller))

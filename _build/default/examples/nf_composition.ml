@@ -1,0 +1,71 @@
+(* Heterogeneous ASIC/CPU processing (§3.2.4 and Appendix A.2): a chain
+   where every other table needs the CPU cores, on the BMv2-style
+   emulated NIC. Shows the naive partition, the table-copying fix, and
+   the automatic placement search, both in the cost model and in the
+   simulator.
+
+   Run with: dune exec examples/nf_composition.exe *)
+
+let fields =
+  [| P4ir.Field.Ipv4_src; P4ir.Field.Ipv4_dst; P4ir.Field.Tcp_sport; P4ir.Field.Tcp_dport |]
+
+(* "dpi" tables carry actions the ASIC cannot run (deep inspection). *)
+let table name i =
+  P4ir.Table.make ~name
+    ~keys:[ P4ir.Builder.exact_key fields.(i mod 4) ]
+    ~actions:[ P4ir.Builder.forward_action "go"; P4ir.Action.nop "def" ]
+    ~default_action:"def"
+    ~entries:[ P4ir.Table.entry [ P4ir.Pattern.Exact 1L ] "go" ]
+    ()
+
+let build () =
+  let tabs =
+    List.concat
+      (List.init 4 (fun i ->
+           [ table (Printf.sprintf "parse%d" i) i; table (Printf.sprintf "dpi%d" i) (i + 1) ]))
+  in
+  P4ir.Program.linear "nf_composition" tabs
+
+let needs_cpu name = String.length name >= 3 && String.sub name 0 3 = "dpi"
+
+let () =
+  let target = Costmodel.Target.emulated_nic in
+  let prog = build () in
+  let prof = Profile.uniform prog in
+  let requirement id =
+    match P4ir.Program.table_of prog id with
+    | Some t when needs_cpu t.P4ir.Table.name -> Pipeleon.Placement.Needs_cpu
+    | _ -> Pipeleon.Placement.Any
+  in
+  let naive = Pipeleon.Placement.naive prog ~require:requirement in
+  let optimized = Pipeleon.Placement.optimize target prof prog ~require:requirement in
+
+  let describe label placement =
+    Printf.printf "%-10s expected latency %.1f, %.2f migrations/packet\n" label
+      (Costmodel.Cost.expected_latency ~placement target prof prog)
+      (Pipeleon.Placement.migrations_expected prof prog ~placement)
+  in
+  Printf.printf "cost model:\n";
+  describe "naive" naive;
+  describe "optimized" optimized;
+
+  (* Confirm in the simulator: run the same packets under both placements. *)
+  let simulate placement =
+    let config = { (Nicsim.Exec.default_config target) with Nicsim.Exec.placement } in
+    let sim = Nicsim.Sim.create ~config target prog in
+    let rng = Stdx.Prng.create 21L in
+    let flows = Traffic.Workload.random_flows rng ~n:64 ~fields:(Array.to_list fields) in
+    let source = Traffic.Workload.of_flows rng flows in
+    (Nicsim.Sim.run_window sim ~duration:1.0 ~packets:3000 ~source).Nicsim.Sim.avg_latency
+  in
+  Printf.printf "\nsimulated:\n";
+  Printf.printf "naive      %.1f latency units/packet\n" (simulate naive);
+  Printf.printf "optimized  %.1f latency units/packet\n" (simulate optimized);
+
+  (* Show the final assignment. *)
+  Printf.printf "\nplacement:\n";
+  List.iter
+    (fun (id, (t : P4ir.Table.t)) ->
+      Printf.printf "  %-8s -> %s\n" t.name
+        (match optimized id with Costmodel.Cost.Asic -> "ASIC" | Costmodel.Cost.Cpu -> "CPU"))
+    (P4ir.Program.tables prog)

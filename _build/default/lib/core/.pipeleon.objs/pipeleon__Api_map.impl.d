@@ -1,0 +1,1 @@
+lib/core/api_map.ml: Format List Merge P4ir

@@ -1,0 +1,1 @@
+lib/core/api_map.mli: Format P4ir

@@ -1,0 +1,1 @@
+lib/core/cache.ml: List P4ir Profile Set String

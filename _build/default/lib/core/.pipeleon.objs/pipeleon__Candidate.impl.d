@@ -1,0 +1,1 @@
+lib/core/candidate.ml: Array Cache Costmodel Float Fun List Merge P4ir Printf Profile Reorder String Transform

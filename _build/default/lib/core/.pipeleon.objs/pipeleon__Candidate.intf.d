@@ -1,0 +1,1 @@
+lib/core/candidate.mli: Costmodel P4ir Profile Transform

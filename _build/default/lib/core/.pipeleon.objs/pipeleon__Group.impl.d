@@ -1,0 +1,1 @@
+lib/core/group.ml: Cache Costmodel List P4ir Pipelet Profile String Transform

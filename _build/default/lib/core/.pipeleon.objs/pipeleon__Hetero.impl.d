@@ -1,0 +1,1 @@
+lib/core/hetero.ml: Costmodel Int64 List P4ir Printf String

@@ -1,0 +1,1 @@
+lib/core/hotspot.ml: Costmodel Hashtbl List Pipelet

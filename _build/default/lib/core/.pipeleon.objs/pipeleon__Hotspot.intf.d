@@ -1,0 +1,1 @@
+lib/core/hotspot.mli: Costmodel P4ir Pipelet Profile

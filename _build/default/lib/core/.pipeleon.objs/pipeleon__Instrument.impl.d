@@ -1,0 +1,1 @@
+lib/core/instrument.ml: Costmodel Hashtbl List P4ir

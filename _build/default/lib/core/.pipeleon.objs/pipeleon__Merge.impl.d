@@ -1,0 +1,1 @@
+lib/core/merge.ml: Cache Int64 List P4ir Printf Profile Set String

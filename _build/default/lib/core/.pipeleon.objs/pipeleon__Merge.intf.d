@@ -1,0 +1,1 @@
+lib/core/merge.mli: P4ir Profile

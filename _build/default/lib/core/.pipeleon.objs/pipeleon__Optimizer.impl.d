@@ -1,0 +1,1 @@
+lib/core/optimizer.ml: Buffer Candidate Costmodel Float Fun Group Hotspot Int List P4ir Pipelet Printf Search String Sys Transform

@@ -1,0 +1,1 @@
+lib/core/optimizer.mli: Candidate Costmodel P4ir Profile Search

@@ -1,0 +1,1 @@
+lib/core/pipelet.ml: Format Hashtbl List P4ir String

@@ -1,0 +1,1 @@
+lib/core/pipelet.mli: Format P4ir

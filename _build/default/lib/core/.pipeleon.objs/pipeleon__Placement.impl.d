@@ -1,0 +1,1 @@
+lib/core/placement.ml: Costmodel Hashtbl List P4ir

@@ -1,0 +1,1 @@
+lib/core/placement.mli: Costmodel P4ir Profile

@@ -1,0 +1,1 @@
+lib/core/reorder.ml: Array Fun List P4ir Profile

@@ -1,0 +1,1 @@
+lib/core/reorder.mli: P4ir Profile

@@ -1,0 +1,1 @@
+lib/core/search.ml: Array Candidate Group Hotspot Knapsack List Option Pipelet Printf

@@ -1,0 +1,1 @@
+lib/core/search.mli: Candidate Costmodel Group Hotspot P4ir Pipelet Profile

@@ -1,0 +1,1 @@
+lib/core/transform.mli: P4ir Pipelet

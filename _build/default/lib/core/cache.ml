@@ -1,0 +1,97 @@
+let max_fused_actions = 64
+
+module FieldSet = Set.Make (P4ir.Field)
+
+let live_in_fields tabs =
+  let rec go live_in written = function
+    | [] -> live_in
+    | (tab : P4ir.Table.t) :: rest ->
+      let reads = FieldSet.of_list (P4ir.Table.reads_of tab) in
+      let fresh = FieldSet.diff reads written in
+      let written = FieldSet.union written (FieldSet.of_list (P4ir.Table.writes_of tab)) in
+      go (FieldSet.union live_in fresh) written rest
+  in
+  FieldSet.elements (go FieldSet.empty FieldSet.empty tabs)
+
+let fused_action_sequences tabs =
+  let rec go = function
+    | [] -> [ [] ]
+    | (tab : P4ir.Table.t) :: rest ->
+      List.concat_map
+        (fun (a : P4ir.Action.t) ->
+          if P4ir.Action.is_dropping a then [ [ a.name ] ]
+          else List.map (fun seq -> a.name :: seq) (go rest))
+        tab.actions
+  in
+  go tabs
+
+let num_sequences tabs =
+  (* Same recursion as {!fused_action_sequences} but counting, to test
+     the explosion bound cheaply. *)
+  let rec go = function
+    | [] -> 1
+    | (tab : P4ir.Table.t) :: rest ->
+      let tail = go rest in
+      List.fold_left
+        (fun acc (a : P4ir.Action.t) ->
+          acc + if P4ir.Action.is_dropping a then 1 else tail)
+        0 tab.actions
+  in
+  go tabs
+
+let cacheable ?(max_actions = max_fused_actions) tabs =
+  tabs <> [] && num_sequences tabs <= max_actions && live_in_fields tabs <> []
+
+let fused_action ?(name_pairs_prefix = []) tabs seq =
+  let prefix_tabs = List.filteri (fun i _ -> i < List.length seq) tabs in
+  let actions =
+    List.map2
+      (fun (tab : P4ir.Table.t) name -> P4ir.Table.find_action_exn tab name)
+      prefix_tabs seq
+  in
+  match actions with
+  | [] -> invalid_arg "Cache.fused_action: empty sequence"
+  | first :: rest ->
+    let name =
+      Profile.Counter_map.fuse
+        (name_pairs_prefix
+        @ List.map2 (fun (tab : P4ir.Table.t) a -> (tab.name, a)) prefix_tabs seq)
+    in
+    List.fold_left
+      (fun acc a -> P4ir.Action.concat name acc a)
+      (P4ir.Action.rename name first)
+      rest
+
+let fused_actions_of ?name_pairs_prefix tabs =
+  let fused =
+    List.map
+      (fun seq -> fused_action ?name_pairs_prefix tabs seq)
+      (fused_action_sequences tabs)
+  in
+  List.fold_left
+    (fun acc (a : P4ir.Action.t) ->
+      if List.exists (fun (b : P4ir.Action.t) -> String.equal a.name b.name) acc then acc
+      else a :: acc)
+    [] fused
+  |> List.rev
+
+let build ?max_actions ?(capacity = 4096) ?(insert_limit = 1000.) ~name tabs =
+  if not (cacheable ?max_actions tabs) then
+    invalid_arg ("Cache.build: segment not cacheable: " ^ name);
+  let keys =
+    List.map (fun f -> P4ir.Table.key f P4ir.Match_kind.Exact) (live_in_fields tabs)
+  in
+  let fused = fused_actions_of tabs in
+  let miss = P4ir.Action.nop "miss" in
+  P4ir.Table.make ~name
+    ~keys
+    ~actions:(fused @ [ miss ])
+    ~default_action:"miss"
+    ~max_entries:capacity
+    ~role:
+      (P4ir.Table.Cache
+         { P4ir.Table.cached_tables = List.map (fun (t : P4ir.Table.t) -> t.name) tabs;
+           capacity;
+           insert_limit;
+           auto_insert = true })
+    ()

@@ -1,0 +1,114 @@
+let next_tab_ids prog =
+  List.mapi
+    (fun i id -> (id, Int64.of_int (i + 1)))
+    (P4ir.Program.topological_order prog)
+
+let crossing_edges prog ~placement =
+  List.concat_map
+    (fun id ->
+      List.filter_map
+        (fun (label, nxt) ->
+          match nxt with
+          | Some dst when placement dst <> placement id -> Some (id, label, dst)
+          | _ -> None)
+        (P4ir.Program.out_edges prog id))
+    (P4ir.Program.reachable prog)
+
+let crossings prog ~placement = List.length (crossing_edges prog ~placement)
+
+(* Rewrite one labelled out-edge of [src] to point at [target]. *)
+let rewire_edge prog src label target =
+  match P4ir.Program.find_exn prog src with
+  | P4ir.Program.Table (tab, P4ir.Program.Uniform _) when label = None ->
+    P4ir.Program.set_node prog src (P4ir.Program.Table (tab, P4ir.Program.Uniform target))
+  | P4ir.Program.Table (tab, P4ir.Program.Per_action branches) -> (
+    match label with
+    | Some (P4ir.Program.Action_fired a) ->
+      let branches =
+        List.map (fun (name, nxt) -> if String.equal name a then (name, target) else (name, nxt)) branches
+      in
+      P4ir.Program.set_node prog src (P4ir.Program.Table (tab, P4ir.Program.Per_action branches))
+    | _ -> invalid_arg "Hetero.rewire_edge: label does not match node")
+  | P4ir.Program.Cond c -> (
+    match label with
+    | Some P4ir.Program.Cond_true ->
+      P4ir.Program.set_node prog src (P4ir.Program.Cond { c with on_true = target })
+    | Some P4ir.Program.Cond_false ->
+      P4ir.Program.set_node prog src (P4ir.Program.Cond { c with on_false = target })
+    | _ -> invalid_arg "Hetero.rewire_edge: label does not match conditional")
+  | _ -> invalid_arg "Hetero.rewire_edge: label does not match node"
+
+let goto_name dst = Printf.sprintf "goto_%d" dst
+
+(* The paper places a navigation table at the front of each program
+   component assigned to a core; in the DAG that is one per crossing
+   destination (sharing one per side would create structural cycles when
+   migrations cross back and forth). *)
+let navigation_table ~dst ~next_id =
+  let goto = P4ir.Action.nop (goto_name dst) in
+  P4ir.Table.make
+    ~name:(Printf.sprintf "__nav_%d" dst)
+    ~keys:[ P4ir.Table.key P4ir.Field.Next_tab_id P4ir.Match_kind.Exact ]
+    ~actions:[ goto ]
+    ~default_action:(goto_name dst)
+    ~entries:[ P4ir.Table.entry [ P4ir.Pattern.Exact next_id ] (goto_name dst) ]
+    ~role:P4ir.Table.Navigation ()
+
+let migration_table ~name ~next_id =
+  P4ir.Table.make ~name
+    ~keys:[ P4ir.Table.key P4ir.Field.Next_tab_id P4ir.Match_kind.Exact ]
+    ~actions:
+      [ P4ir.Action.make "migrate" [ P4ir.Action.Set_field (P4ir.Field.Next_tab_id, next_id) ] ]
+    ~default_action:"migrate" ~role:P4ir.Table.Migration ()
+
+let materialize prog ~placement =
+  let edges = crossing_edges prog ~placement in
+  if edges = [] then (prog, placement)
+  else begin
+    let ids = next_tab_ids prog in
+    let tab_id node = List.assoc node ids in
+    let overrides : (P4ir.Program.node_id * Costmodel.Cost.core) list ref = ref [] in
+    (* One navigation table in front of each crossing destination (the
+       entry of a program component on the receiving core). *)
+    let dests =
+      List.sort_uniq compare (List.map (fun (_, _, dst) -> dst) edges)
+    in
+    let prog, navs =
+      List.fold_left
+        (fun (prog, navs) dst ->
+          let tab = navigation_table ~dst ~next_id:(tab_id dst) in
+          let prog, nav_id =
+            P4ir.Program.add_node prog (P4ir.Program.Table (tab, P4ir.Program.Uniform (Some dst)))
+          in
+          overrides := (nav_id, placement dst) :: !overrides;
+          (prog, (dst, nav_id) :: navs))
+        (prog, []) dests
+    in
+    (* Split each crossing edge with a migration table on the source side
+       flowing into the destination component's navigation table. *)
+    let counter = ref 0 in
+    let prog =
+      List.fold_left
+        (fun prog (src, label, dst) ->
+          incr counter;
+          let nav_id = List.assoc dst navs in
+          let mig =
+            migration_table
+              ~name:(Printf.sprintf "__mig%d_%d_to_%d" !counter src dst)
+              ~next_id:(tab_id dst)
+          in
+          let prog, mig_id =
+            P4ir.Program.add_node prog
+              (P4ir.Program.Table (mig, P4ir.Program.Uniform (Some nav_id)))
+          in
+          overrides := (mig_id, placement src) :: !overrides;
+          rewire_edge prog src label (Some mig_id))
+        prog edges
+    in
+    P4ir.Program.validate_exn prog;
+    let overrides = !overrides in
+    let placement' id =
+      match List.assoc_opt id overrides with Some side -> side | None -> placement id
+    in
+    (prog, placement')
+  end

@@ -1,0 +1,35 @@
+type hot = {
+  pipelet : Pipelet.t;
+  reach_prob : float;
+  local_latency : float;
+  weighted_cost : float;
+}
+
+let rank target prof prog pipelets =
+  let reach = Hashtbl.create 64 in
+  List.iter
+    (fun (id, p) -> Hashtbl.replace reach id p)
+    (Costmodel.Cost.reach_probs prof prog);
+  let reach_of id = match Hashtbl.find_opt reach id with Some p -> p | None -> 0. in
+  let hots =
+    List.map
+      (fun (p : Pipelet.t) ->
+        let entry_prob = reach_of p.entry in
+        let weighted =
+          List.fold_left
+            (fun acc id ->
+              acc +. (reach_of id *. Costmodel.Cost.node_cost target prof prog id))
+            0. p.table_ids
+        in
+        let local = if entry_prob > 0. then weighted /. entry_prob else 0. in
+        { pipelet = p; reach_prob = entry_prob; local_latency = local;
+          weighted_cost = weighted })
+      pipelets
+  in
+  List.stable_sort (fun a b -> compare b.weighted_cost a.weighted_cost) hots
+
+let top_k ~fraction hots =
+  if fraction <= 0. || fraction > 1. then invalid_arg "Hotspot.top_k: fraction in (0,1]";
+  let n = List.length hots in
+  let keep = int_of_float (ceil (fraction *. float_of_int n)) in
+  List.filteri (fun i _ -> i < keep) hots

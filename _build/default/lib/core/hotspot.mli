@@ -1,0 +1,16 @@
+(** Hot pipelet detection (§4.1.2): rank pipelets by their contribution
+    to expected program latency, [L(G') x P(G')]. *)
+
+type hot = {
+  pipelet : Pipelet.t;
+  reach_prob : float;  (** probability a packet reaches the pipelet *)
+  local_latency : float;  (** expected latency inside, given it is reached *)
+  weighted_cost : float;  (** the ranking key: reach_prob * local_latency *)
+}
+
+val rank :
+  Costmodel.Target.t -> Profile.t -> P4ir.Program.t -> Pipelet.t list -> hot list
+(** Descending by [weighted_cost]. *)
+
+val top_k : fraction:float -> hot list -> hot list
+(** Keep the top [ceil (fraction * n)] pipelets; [fraction] in (0, 1]. *)

@@ -1,0 +1,84 @@
+type option_item = { gain : float; mem : int; upd : float; tag : int }
+
+type solution = { total_gain : float; picks : (int * int) list }
+
+let solve ?(mem_buckets = 64) ?(upd_buckets = 32) ~groups ~mem_budget ~upd_budget () =
+  let nm = max 1 mem_buckets in
+  let nu = max 1 upd_buckets in
+  let mem_unit = Float.max 1. (float_of_int mem_budget /. float_of_int nm) in
+  let upd_unit = Float.max 1e-9 (upd_budget /. float_of_int nu) in
+  let bucket_mem m = int_of_float (ceil (float_of_int (max 0 m) /. mem_unit)) in
+  let bucket_upd u = int_of_float (ceil (Float.max 0. u /. upd_unit)) in
+  (* dp.(m).(u) = best gain using at most m memory units and u update
+     units; picks tracked alongside. *)
+  let dp = ref (Array.make_matrix (nm + 1) (nu + 1) 0.) in
+  let picks = ref (Array.make_matrix (nm + 1) (nu + 1) ([] : (int * int) list)) in
+  List.iteri
+    (fun gi options ->
+      (* New layer reads only the previous groups' layer, so each group
+         contributes at most one option (zero-cost options included). *)
+      let prev_dp = !dp and prev_picks = !picks in
+      let next_dp = Array.map Array.copy prev_dp in
+      let next_picks = Array.map Array.copy prev_picks in
+      for m = 0 to nm do
+        for u = 0 to nu do
+          List.iter
+            (fun o ->
+              if o.gain > 0. then begin
+                let cm = bucket_mem o.mem in
+                let cu = bucket_upd o.upd in
+                if cm <= m && cu <= u then begin
+                  let candidate = prev_dp.(m - cm).(u - cu) +. o.gain in
+                  if candidate > next_dp.(m).(u) then begin
+                    next_dp.(m).(u) <- candidate;
+                    next_picks.(m).(u) <- (gi, o.tag) :: prev_picks.(m - cm).(u - cu)
+                  end
+                end
+              end)
+            options
+        done
+      done;
+      dp := next_dp;
+      picks := next_picks)
+    groups;
+  { total_gain = (!dp).(nm).(nu); picks = List.rev (!picks).(nm).(nu) }
+
+let greedy ~groups ~mem_budget ~upd_budget =
+  (* Per group keep the best-density option, then take groups in density
+     order while budgets last. *)
+  let density o =
+    let mem_frac = float_of_int (max 0 o.mem) /. Float.max 1. (float_of_int mem_budget) in
+    let upd_frac = Float.max 0. o.upd /. Float.max 1e-9 upd_budget in
+    o.gain /. Float.max 1e-9 (mem_frac +. upd_frac)
+  in
+  let best_per_group =
+    List.mapi
+      (fun gi options ->
+        let best =
+          List.fold_left
+            (fun acc o ->
+              if o.gain <= 0. then acc
+              else
+                match acc with
+                | Some b when density b >= density o -> acc
+                | _ -> Some o)
+            None options
+        in
+        (gi, best))
+      groups
+    |> List.filter_map (fun (gi, o) -> Option.map (fun o -> (gi, o)) o)
+  in
+  let sorted =
+    List.stable_sort (fun (_, a) (_, b) -> compare (density b) (density a)) best_per_group
+  in
+  let _, _, gain, picks =
+    List.fold_left
+      (fun (mem_left, upd_left, gain, picks) (gi, o) ->
+        if o.mem <= mem_left && o.upd <= upd_left then
+          (mem_left - max 0 o.mem, upd_left -. Float.max 0. o.upd, gain +. o.gain,
+           (gi, o.tag) :: picks)
+        else (mem_left, upd_left, gain, picks))
+      (mem_budget, upd_budget, 0., [])
+      sorted
+  in
+  { total_gain = gain; picks = List.rev picks }

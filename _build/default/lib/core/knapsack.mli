@@ -1,0 +1,30 @@
+(** Group knapsack over two resource dimensions (Appendix A.1).
+
+    Each group (pipelet) offers options with a gain and a 2-D cost
+    (memory bytes, entry updates/sec); pick at most one option per group
+    maximizing total gain within both budgets. Costs are discretized
+    onto a DP grid; negative costs (an optimization that *frees*
+    resources) are clamped to zero, which is conservative. *)
+
+type option_item = { gain : float; mem : int; upd : float; tag : int }
+(** [tag] identifies the option within its group. *)
+
+type solution = { total_gain : float; picks : (int * int) list }
+(** [(group_index, tag)] for every group that got an option. *)
+
+val solve :
+  ?mem_buckets:int ->
+  ?upd_buckets:int ->
+  groups:option_item list list ->
+  mem_budget:int ->
+  upd_budget:float ->
+  unit ->
+  solution
+(** Dynamic program over [mem_buckets x upd_buckets] (default 64 x 32)
+    states. Options whose (clamped) cost exceeds a budget are skipped.
+    Bucket rounding is upward, so the solution never overruns budgets. *)
+
+val greedy :
+  groups:option_item list list -> mem_budget:int -> upd_budget:float -> solution
+(** Density-greedy baseline (gain per normalized cost); used by the
+    ablation bench to show where the DP wins. *)

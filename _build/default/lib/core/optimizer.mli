@@ -1,0 +1,40 @@
+(** The Pipeleon optimizer driver: pipelet formation, hot detection,
+    local + global search, and program rewriting (Fig. 3 workflow). *)
+
+type config = {
+  top_k : float;  (** fraction of pipelets optimized; 1.0 = ESearch *)
+  budget : Costmodel.Resource.budget;
+  candidate_opts : Candidate.options;
+  max_pipelet_len : int;
+  enable_groups : bool;  (** cross-pipelet group caching (§5.4.4) *)
+  use_greedy_global : bool;  (** ablation: greedy instead of knapsack *)
+}
+
+val default_config : config
+(** top 20%, default budget, groups on, knapsack global search. *)
+
+type result = {
+  program : P4ir.Program.t;  (** the rewritten program *)
+  plan : Search.plan;
+  pipelets_total : int;
+  pipelets_considered : int;
+  search_seconds : float;
+      (** CPU time of the optimization search itself (the paper's Fig. 13
+          "computation time") *)
+  elapsed_seconds : float;  (** search plus plan realization/rewriting *)
+}
+
+val optimize :
+  ?config:config ->
+  ?generation:int ->
+  Costmodel.Target.t ->
+  Profile.t ->
+  P4ir.Program.t ->
+  result
+(** One optimization round. [generation] disambiguates generated table
+    names across successive runtime rounds. The input program should
+    carry current table entries (see {!Nicsim.Exec.sync_entries_to_ir})
+    so match-kind [m] values and resource accounting are current. *)
+
+val describe : result -> string
+(** Human-readable plan summary (one line per choice). *)

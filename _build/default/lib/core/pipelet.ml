@@ -1,0 +1,91 @@
+type t = {
+  entry : P4ir.Program.node_id;
+  table_ids : P4ir.Program.node_id list;
+  exit : P4ir.Program.next;
+  is_switch_case : bool;
+}
+
+let length p = List.length p.table_ids
+
+let tables prog p =
+  List.map
+    (fun id ->
+      match P4ir.Program.table_of prog id with
+      | Some tab -> tab
+      | None -> invalid_arg "Pipelet.tables: node is not a table")
+    p.table_ids
+
+let split_run max_len run exit prog =
+  (* Split an over-long run into consecutive pipelets of at most
+     [max_len] tables. *)
+  let rec chunks acc current n = function
+    | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+    | id :: rest ->
+      if n = max_len then chunks (List.rev current :: acc) [ id ] 1 rest
+      else chunks acc (id :: current) (n + 1) rest
+  in
+  let groups = chunks [] [] 0 run in
+  let rec build = function
+    | [] -> []
+    | [ last ] ->
+      [ { entry = List.hd last; table_ids = last; exit; is_switch_case = false } ]
+    | g :: (next_g :: _ as rest) ->
+      { entry = List.hd g;
+        table_ids = g;
+        exit = Some (List.hd next_g);
+        is_switch_case = false }
+      :: build rest
+  in
+  ignore prog;
+  build groups
+
+let form ?(max_len = 8) prog =
+  let reachable = P4ir.Program.reachable prog in
+  (* Multi-predecessor nodes are join points: a run cannot flow through
+     them, they must start a new pipelet. *)
+  let pred_count = Hashtbl.create 16 in
+  List.iter
+    (fun id ->
+      Hashtbl.replace pred_count id (List.length (P4ir.Program.predecessors prog id)))
+    reachable;
+  let is_join id = match Hashtbl.find_opt pred_count id with Some n -> n > 1 | None -> false in
+  let visited = Hashtbl.create 16 in
+  let pipelets = ref [] in
+  let rec walk_run acc id =
+    (* Extend the current run from node [id] (a Uniform table already
+       checked unvisited). *)
+    Hashtbl.replace visited id ();
+    match P4ir.Program.find_exn prog id with
+    | P4ir.Program.Table (_, P4ir.Program.Uniform next) -> (
+      match next with
+      | Some nid when not (Hashtbl.mem visited nid) && not (is_join nid) -> (
+        match P4ir.Program.find_exn prog nid with
+        | P4ir.Program.Table (_, P4ir.Program.Uniform _) -> walk_run (id :: acc) nid
+        | _ -> (List.rev (id :: acc), next))
+      | _ -> (List.rev (id :: acc), next))
+    | _ -> (List.rev (id :: acc), None)
+  in
+  let start id =
+    if not (Hashtbl.mem visited id) then
+      match P4ir.Program.find_exn prog id with
+      | P4ir.Program.Cond _ -> Hashtbl.replace visited id ()
+      | P4ir.Program.Table (_, P4ir.Program.Per_action _) ->
+        Hashtbl.replace visited id ();
+        pipelets :=
+          { entry = id; table_ids = [ id ]; exit = None; is_switch_case = true }
+          :: !pipelets
+      | P4ir.Program.Table (_, P4ir.Program.Uniform _) ->
+        let run, exit = walk_run [] id in
+        (* Prepend reversed so the final List.rev restores global order. *)
+        pipelets := List.rev_append (split_run max_len run exit prog) !pipelets
+  in
+  (* Topological order guarantees a run's head is visited before its
+     interior nodes are offered as starts. *)
+  List.iter start (P4ir.Program.topological_order prog |> List.filter (fun id -> List.mem id reachable));
+  List.rev !pipelets
+
+let pp fmt p =
+  Format.fprintf fmt "pipelet{entry=%d tables=[%s] exit=%s%s}" p.entry
+    (String.concat ";" (List.map string_of_int p.table_ids))
+    (match p.exit with None -> "sink" | Some id -> string_of_int id)
+    (if p.is_switch_case then " switch" else "")

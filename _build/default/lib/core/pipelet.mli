@@ -1,0 +1,26 @@
+(** Pipelet formation (§4.1.1).
+
+    A pipelet is a branch-free run of match/action tables — the
+    domain-specific analogue of a basic block. The program is split at
+    conditional branches, at switch-case tables (which form singleton
+    pipelets), and at join points; runs longer than [max_len] are split
+    further so the local search stays tractable. *)
+
+type t = {
+  entry : P4ir.Program.node_id;
+  table_ids : P4ir.Program.node_id list;  (** in execution order; non-empty *)
+  exit : P4ir.Program.next;  (** the node reached after the last table *)
+  is_switch_case : bool;  (** singleton Per_action pipelet *)
+}
+
+val form : ?max_len:int -> P4ir.Program.t -> t list
+(** Partition all reachable table nodes into pipelets, in topological
+    order. [max_len] (default 8) bounds pipelet length. Every reachable
+    table node belongs to exactly one pipelet. *)
+
+val tables : P4ir.Program.t -> t -> P4ir.Table.t list
+(** The table definitions of a pipelet, in order. *)
+
+val length : t -> int
+
+val pp : Format.formatter -> t -> unit

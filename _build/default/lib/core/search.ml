@@ -1,0 +1,112 @@
+type pipelet_candidates = {
+  hot : Hotspot.hot;
+  evaluated : Candidate.evaluated list;
+}
+
+type plan = {
+  choices : (Hotspot.hot * Candidate.evaluated) list;
+  group_choices : Group.evaluated list;
+  predicted_gain : float;
+  candidates_examined : int;
+}
+
+let local_optimize ?opts ?name_prefix target prof prog hots =
+  ignore name_prefix;
+  List.map
+    (fun (hot : Hotspot.hot) ->
+      let originals = Pipelet.tables prog hot.pipelet in
+      let combos = Candidate.enumerate ?opts prof originals in
+      (* Analytic evaluation only: materializing candidate tables (cross
+         products!) happens once, for the chosen combination. *)
+      let ctx = Candidate.context ?opts target prof ~reach_prob:hot.reach_prob originals in
+      let evaluated =
+        List.filter_map
+          (fun combo ->
+            match Candidate.evaluate_analytic ctx combo with
+            | Some e when e.Candidate.gain > 0. -> Some e
+            | _ -> None)
+          combos
+      in
+      { hot; evaluated })
+    hots
+
+let global_optimize ?(use_greedy = false) ~budget ~headroom_mem ~headroom_upd candidates =
+  let groups =
+    List.map
+      (fun pc ->
+        List.mapi
+          (fun i (e : Candidate.evaluated) ->
+            { Knapsack.gain = e.gain; mem = e.mem_delta; upd = e.update_delta; tag = i })
+          pc.evaluated)
+      candidates
+  in
+  ignore budget;
+  let solution =
+    if use_greedy then
+      Knapsack.greedy ~groups ~mem_budget:headroom_mem ~upd_budget:headroom_upd
+    else Knapsack.solve ~groups ~mem_budget:headroom_mem ~upd_budget:headroom_upd ()
+  in
+  let arr = Array.of_list candidates in
+  let choices =
+    List.filter_map
+      (fun (gi, tag) ->
+        if gi < Array.length arr then
+          let pc = arr.(gi) in
+          List.nth_opt pc.evaluated tag |> Option.map (fun e -> (pc.hot, e))
+        else None)
+      solution.Knapsack.picks
+  in
+  { choices;
+    group_choices = [];
+    predicted_gain = solution.Knapsack.total_gain;
+    candidates_examined = List.fold_left (fun acc pc -> acc + List.length pc.evaluated) 0 candidates }
+
+let with_groups ?opts ?(name_prefix = "__opt") target prof prog ~candidates ~chosen =
+  let cache_opts = match opts with Some o -> o | None -> Candidate.default_options in
+  let groups = Group.detect prog ~candidates in
+  let counter = ref 0 in
+  (* A group cache competes with its members' individual choices: adopt
+     it only when it beats their combined gain, and drop those choices
+     (the group cache covers the members end to end). *)
+  let choices = ref chosen.choices in
+  let group_choices =
+    List.filter_map
+      (fun g ->
+        incr counter;
+        let name = Printf.sprintf "%s_group%d_%d" name_prefix g.Group.branch !counter in
+        match
+          Group.build_cache ~capacity:cache_opts.Candidate.cache_capacity
+            ~insert_limit:cache_opts.Candidate.cache_insert_limit ~name prog g
+        with
+        | None -> None
+        | Some cache ->
+          let e = Group.evaluate target prof prog g ~cache in
+          let member_entries =
+            List.map (fun (p : Pipelet.t) -> p.Pipelet.entry) g.Group.members
+          in
+          let member_choices, others =
+            List.partition
+              (fun ((hot : Hotspot.hot), _) ->
+                List.mem hot.pipelet.Pipelet.entry member_entries)
+              !choices
+          in
+          let member_gain =
+            List.fold_left
+              (fun acc (_, (ev : Candidate.evaluated)) -> acc +. ev.gain)
+              0. member_choices
+          in
+          if e.Group.gain > member_gain && e.Group.gain > 0. then begin
+            choices := others;
+            Some e
+          end
+          else None)
+      groups
+  in
+  { chosen with
+    choices = !choices;
+    group_choices;
+    predicted_gain =
+      List.fold_left
+        (fun acc (_, (ev : Candidate.evaluated)) -> acc +. ev.gain)
+        0. !choices
+      +. List.fold_left (fun acc (e : Group.evaluated) -> acc +. e.gain) 0. group_choices }

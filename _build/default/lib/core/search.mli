@@ -1,0 +1,51 @@
+(** The best-optimization search (§4.2, Appendix A.1): local candidate
+    enumeration per hot pipelet, then a global group-knapsack pick under
+    the memory / update-rate budgets. *)
+
+type pipelet_candidates = {
+  hot : Hotspot.hot;
+  evaluated : Candidate.evaluated list;  (** positive-gain candidates *)
+}
+
+type plan = {
+  choices : (Hotspot.hot * Candidate.evaluated) list;
+  group_choices : Group.evaluated list;
+  predicted_gain : float;
+  candidates_examined : int;
+}
+
+val local_optimize :
+  ?opts:Candidate.options ->
+  ?name_prefix:string ->
+  Costmodel.Target.t ->
+  Profile.t ->
+  P4ir.Program.t ->
+  Hotspot.hot list ->
+  pipelet_candidates list
+(** LocalOptimize: enumerate, realize, and evaluate every valid
+    combination for each pipelet. *)
+
+val global_optimize :
+  ?use_greedy:bool ->
+  budget:Costmodel.Resource.budget ->
+  headroom_mem:int ->
+  headroom_upd:float ->
+  pipelet_candidates list ->
+  plan
+(** GlobalOptimize: group knapsack over the pipelets' candidate lists.
+    [headroom_*] are the budget remainders after the current program's
+    own consumption. [use_greedy] switches to the density heuristic
+    (ablation). *)
+
+val with_groups :
+  ?opts:Candidate.options ->
+  ?name_prefix:string ->
+  Costmodel.Target.t ->
+  Profile.t ->
+  P4ir.Program.t ->
+  candidates:Pipelet.t list ->
+  chosen:plan ->
+  plan
+(** Cross-pipelet pass: detect groups among the candidate pipelets that
+    the per-pipelet plan left untouched and add group caches when they
+    beat the sum of the members' individual choices. *)

@@ -1,0 +1,64 @@
+type element =
+  | Plain of P4ir.Table.t
+  | Cached of { cache : P4ir.Table.t; originals : P4ir.Table.t list }
+  | Merged_plain of { merged : P4ir.Table.t; originals : P4ir.Table.t list }
+  | Merged_fallback of { merged : P4ir.Table.t; originals : P4ir.Table.t list }
+
+let element_tables = function
+  | Plain t -> [ t ]
+  | Merged_plain { merged; _ } -> [ merged ]
+  | Cached { cache; originals } -> cache :: originals
+  | Merged_fallback { merged; originals } -> merged :: originals
+
+(* Add one element to [prog] such that it flows into [next]; returns the
+   element's entry node id. *)
+let add_element prog element ~next =
+  match element with
+  | Plain tab | Merged_plain { merged = tab; _ } ->
+    P4ir.Program.add_node prog (P4ir.Program.Table (tab, P4ir.Program.Uniform next))
+  | Cached { cache; originals } | Merged_fallback { merged = cache; originals } ->
+    let prog, first_original =
+      List.fold_left
+        (fun (prog, follow) tab ->
+          let prog, id =
+            P4ir.Program.add_node prog (P4ir.Program.Table (tab, P4ir.Program.Uniform follow))
+          in
+          (prog, Some id))
+        (prog, next) (List.rev originals)
+    in
+    (* Hit actions jump straight to [next]; the default (miss) action
+       falls through to the first original table. *)
+    let branches =
+      List.map
+        (fun (a : P4ir.Action.t) ->
+          if String.equal a.name cache.P4ir.Table.default_action then (a.name, first_original)
+          else (a.name, next))
+        cache.P4ir.Table.actions
+    in
+    P4ir.Program.add_node prog (P4ir.Program.Table (cache, P4ir.Program.Per_action branches))
+
+let build_sequence prog elements ~exit =
+  match elements with
+  | [] -> invalid_arg "Transform: empty element list"
+  | _ ->
+    List.fold_left
+      (fun (prog, next) element ->
+        let prog, id = add_element prog element ~next in
+        (prog, Some id))
+      (prog, exit) (List.rev elements)
+
+let chain_program name elements =
+  let prog, entry = build_sequence (P4ir.Program.empty name) elements ~exit:None in
+  let prog = P4ir.Program.with_root prog entry in
+  P4ir.Program.validate_exn prog;
+  prog
+
+let apply prog (p : Pipelet.t) elements =
+  let prog, entry = build_sequence prog elements ~exit:p.exit in
+  let entry_id = match entry with Some id -> id | None -> assert false in
+  let prog = P4ir.Program.redirect prog ~old_target:p.entry ~new_target:(Some entry_id) in
+  let prog = List.fold_left P4ir.Program.remove_node prog p.table_ids in
+  (match P4ir.Program.validate prog with
+   | Ok () -> ()
+   | Error msg -> invalid_arg ("Transform.apply produced invalid program: " ^ msg));
+  prog

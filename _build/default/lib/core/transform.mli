@@ -1,0 +1,31 @@
+(** Graph surgery: replace a pipelet with an optimized element sequence.
+
+    An element list is the concrete, deployable form of an optimization
+    combination: plain (possibly reordered) tables, flow caches that skip
+    their covered originals on a hit, and merged tables (with or without
+    an exact-match fallback path). *)
+
+type element =
+  | Plain of P4ir.Table.t
+  | Cached of { cache : P4ir.Table.t; originals : P4ir.Table.t list }
+      (** cache hit jumps past [originals]; miss falls through to them *)
+  | Merged_plain of { merged : P4ir.Table.t; originals : P4ir.Table.t list }
+      (** ternary merge: the originals are gone from the graph; they are
+          kept here as provenance for evaluation and API mapping *)
+  | Merged_fallback of { merged : P4ir.Table.t; originals : P4ir.Table.t list }
+      (** exact merge used as a lookaside: miss falls back to originals *)
+
+val element_tables : element -> P4ir.Table.t list
+(** Every table the element materializes, cache/merged first. *)
+
+val chain_program : string -> element list -> P4ir.Program.t
+(** A standalone program consisting of just this element sequence; used
+    by the optimizer to evaluate candidate cost before committing. *)
+
+val apply :
+  P4ir.Program.t -> Pipelet.t -> element list -> P4ir.Program.t
+(** Replace the pipelet's table chain with the element sequence: incoming
+    edges are redirected to the new entry, the last element flows to the
+    pipelet's exit, and the old nodes are removed. The result is
+    validated. @raise Invalid_argument on an empty element list or if the
+    rewrite produces an invalid program. *)

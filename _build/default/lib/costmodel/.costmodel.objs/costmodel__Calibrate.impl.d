@@ -1,0 +1,1 @@
+lib/costmodel/calibrate.ml: Float List Stdx Target

@@ -1,0 +1,1 @@
+lib/costmodel/calibrate.mli: Target

@@ -1,0 +1,1 @@
+lib/costmodel/cost.ml: Float Hashtbl List P4ir Profile Target

@@ -1,0 +1,1 @@
+lib/costmodel/cost.mli: P4ir Profile Target

@@ -1,0 +1,1 @@
+lib/costmodel/queueing.ml: List Target

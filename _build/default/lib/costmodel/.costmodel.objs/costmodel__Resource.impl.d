@@ -1,0 +1,1 @@
+lib/costmodel/resource.ml: List P4ir Profile Target

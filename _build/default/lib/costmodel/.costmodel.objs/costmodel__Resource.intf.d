@@ -1,0 +1,1 @@
+lib/costmodel/resource.mli: P4ir Profile Target

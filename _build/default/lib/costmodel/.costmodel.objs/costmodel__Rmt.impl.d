@@ -1,0 +1,1 @@
+lib/costmodel/rmt.ml: Array List P4ir Printf Resource String Target

@@ -1,0 +1,1 @@
+lib/costmodel/rmt.mli: P4ir Target

@@ -1,0 +1,1 @@
+lib/costmodel/target.ml: Float Format P4ir

@@ -1,0 +1,1 @@
+lib/costmodel/target.mli: Format P4ir

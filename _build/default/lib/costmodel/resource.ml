@@ -1,0 +1,44 @@
+let action_data_bytes = 8
+
+let pattern_bytes (k : P4ir.Table.key) =
+  let field_bytes = (P4ir.Field.width k.field + 7) / 8 in
+  match k.kind with
+  | P4ir.Match_kind.Exact -> field_bytes
+  | P4ir.Match_kind.Lpm -> field_bytes + 1
+  | P4ir.Match_kind.Ternary | P4ir.Match_kind.Range -> 2 * field_bytes
+
+let entry_bytes (tab : P4ir.Table.t) =
+  List.fold_left (fun acc k -> acc + pattern_bytes k) action_data_bytes tab.keys
+
+let table_memory target (tab : P4ir.Table.t) =
+  let entries =
+    match tab.role with
+    | P4ir.Table.Cache meta -> meta.capacity
+    | _ -> max (P4ir.Table.num_entries tab) 1
+  in
+  let m = Target.m_of_table target tab in
+  int_of_float (ceil (float_of_int (entries * entry_bytes tab) *. m))
+
+let table_update_rate prof (tab : P4ir.Table.t) =
+  let base = Profile.update_rate prof ~table_name:tab.name in
+  match tab.role with
+  | P4ir.Table.Cache meta when meta.auto_insert -> base +. meta.insert_limit
+  | _ -> base
+
+let program_memory target prog =
+  List.fold_left
+    (fun acc (_, tab) -> acc + table_memory target tab)
+    0
+    (P4ir.Program.tables prog)
+
+let program_update_rate prof prog =
+  List.fold_left
+    (fun acc (_, tab) -> acc +. table_update_rate prof tab)
+    0.
+    (P4ir.Program.tables prog)
+
+type budget = { memory_bytes : int; updates_per_sec : float }
+
+let within b ~memory ~updates = memory <= b.memory_bytes && updates <= b.updates_per_sec
+
+let default_budget = { memory_bytes = 16 * 1024 * 1024; updates_per_sec = 10_000. }

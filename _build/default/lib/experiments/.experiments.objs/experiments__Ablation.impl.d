@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Array Costmodel Fig11 Float Harness Int64 List Nicsim P4ir Pipeleon Printf Profile Runtime Stdx Synth Traffic

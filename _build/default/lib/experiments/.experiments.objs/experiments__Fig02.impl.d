@@ -1,0 +1,1 @@
+lib/experiments/fig02.ml: Costmodel Harness Int64 List Nicsim P4ir Pipeleon Runtime Stdx Traffic

@@ -1,0 +1,1 @@
+lib/experiments/fig05.ml: Array Costmodel Float Harness Int64 List Nicsim P4ir Printf Profile Stdx Traffic

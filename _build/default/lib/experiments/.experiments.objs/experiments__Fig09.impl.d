@@ -1,0 +1,1 @@
+lib/experiments/fig09.ml: Array Costmodel Harness Int64 List Nicsim P4ir Pipeleon Printf Stdx String Traffic

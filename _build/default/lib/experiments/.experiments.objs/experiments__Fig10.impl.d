@@ -1,0 +1,1 @@
+lib/experiments/fig10.ml: Costmodel Float Fun Harness List Pipeleon Printf Stdx Synth

@@ -1,0 +1,1 @@
+lib/experiments/fig11.ml: Array Costmodel Harness Int64 List Nicsim Option P4ir Pipeleon Printf Runtime Stdx Synth Traffic

@@ -1,0 +1,1 @@
+lib/experiments/fig12.ml: Array Costmodel Harness List Nicsim P4ir Printf Stdx Traffic

@@ -1,0 +1,1 @@
+lib/experiments/fig13.ml: Costmodel Float Harness List Pipeleon Printf Stdx Synth

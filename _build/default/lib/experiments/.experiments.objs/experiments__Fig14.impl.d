@@ -1,0 +1,1 @@
+lib/experiments/fig14.ml: Costmodel Float Harness Hashtbl List Pipeleon Printf Stdx Synth

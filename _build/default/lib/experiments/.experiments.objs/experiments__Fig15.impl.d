@@ -1,0 +1,1 @@
+lib/experiments/fig15.ml: Costmodel Float Harness List Pipeleon Printf Profile Stdx Synth

@@ -1,0 +1,1 @@
+lib/experiments/fig17.ml: Array Costmodel Harness Hashtbl List P4ir Pipeleon Printf Profile String

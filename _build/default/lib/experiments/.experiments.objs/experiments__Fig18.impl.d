@@ -1,0 +1,1 @@
+lib/experiments/fig18.ml: Costmodel Float Harness Hashtbl List Pipeleon Printf Stdx String Synth

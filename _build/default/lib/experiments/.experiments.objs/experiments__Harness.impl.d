@@ -1,0 +1,1 @@
+lib/experiments/harness.ml: List Nicsim Printf Stdx String

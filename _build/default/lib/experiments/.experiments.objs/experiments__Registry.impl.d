@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Ablation Fig02 Fig05 Fig09 Fig10 Fig11 Fig12 Fig13 Fig14 Fig15 Fig17 Fig18 List String Table01

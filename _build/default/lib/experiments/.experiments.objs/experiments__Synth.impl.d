@@ -1,0 +1,1 @@
+lib/experiments/synth.ml: Array Costmodel Float Fun Int64 List P4ir Pipeleon Printf Profile Stdx String

@@ -1,0 +1,1 @@
+lib/experiments/table01.ml: Costmodel Fig05 Harness Printf

@@ -1,0 +1,233 @@
+(* Ablation benches for design choices called out in DESIGN.md:
+   - knapsack DP vs density-greedy global search;
+   - node-sum vs path-enumeration expected latency (identical values,
+     different asymptotics);
+   - single whole-program cache vs partitioned caches (cross-product
+     problem, complementing Fig. 9c). *)
+
+let target = Costmodel.Target.bluefield2
+
+let dp_vs_greedy () =
+  Harness.subsection "knapsack DP vs greedy global search";
+  let programs = Harness.scaled 40 in
+  let rng = Stdx.Prng.create 555L in
+  let params = { Synth.default_params with sections = 8; pipelet_len = 2 } in
+  let ratios =
+    List.init programs (fun _ ->
+        let prog = Synth.program ~params rng in
+        let prof = Synth.profile rng prog in
+        (* A tight memory budget makes the packing choice matter: room
+           for roughly one and a half caches. *)
+        let budget =
+          { Costmodel.Resource.memory_bytes =
+              Costmodel.Resource.program_memory target prog + 120_000;
+            updates_per_sec = 2500. }
+        in
+        let gain use_greedy =
+          let config =
+            { Pipeleon.Optimizer.default_config with
+              top_k = 1.0;
+              budget;
+              enable_groups = false;
+              use_greedy_global = use_greedy }
+          in
+          (Pipeleon.Optimizer.optimize ~config target prof prog)
+            .Pipeleon.Optimizer.plan.Pipeleon.Search.predicted_gain
+        in
+        let dp = gain false and greedy = gain true in
+        if dp > 1e-9 then greedy /. dp else 1.)
+  in
+  Harness.print_cdf ~label:"greedy gain / DP gain" ratios;
+  Printf.printf "mean: %.3f (DP should be >= 1.0x greedy everywhere)\n"
+    (Stdx.Stats.mean ratios)
+
+let node_sum_vs_paths () =
+  Harness.subsection "node-sum vs path-enumeration expected latency";
+  let rng = Stdx.Prng.create 666L in
+  let params = { Synth.default_params with sections = 5; pipelet_len = 2; diamond_prob = 0.6 } in
+  let diffs =
+    List.init (Harness.scaled 25) (fun _ ->
+        let prog = Synth.program ~params rng in
+        let prof = Synth.profile rng prog in
+        let fast = Costmodel.Cost.expected_latency target prof prog in
+        let slow = Costmodel.Cost.expected_latency_via_paths target prof prog in
+        Float.abs (fast -. slow) /. Float.max 1e-9 fast)
+  in
+  Printf.printf "max relative difference over %d programs: %.2e (expected ~0)\n"
+    (List.length diffs)
+    (List.fold_left Float.max 0. diffs)
+
+let cache_partitioning () =
+  Harness.subsection "single whole-program cache vs partitioned caches (B-Cache ablation)";
+  (* Complements Fig. 9c: report observed hit rates under the same flows. *)
+  let tabs =
+    List.init 4 (fun i ->
+        P4ir.Table.make
+          ~name:(Printf.sprintf "t%d" i)
+          ~keys:
+            [ P4ir.Builder.exact_key
+                [| P4ir.Field.Ipv4_src; P4ir.Field.Ipv4_dst; P4ir.Field.Tcp_sport;
+                   P4ir.Field.Tcp_dport |].(i) ]
+          ~actions:[ P4ir.Builder.forward_action "fwd"; P4ir.Action.nop "def" ]
+          ~default_action:"def"
+          ~entries:
+            (List.init 16 (fun j -> P4ir.Table.entry [ P4ir.Pattern.Exact (Int64.of_int j) ] "fwd"))
+          ())
+  in
+  let run label segments =
+    let prog = P4ir.Program.linear "ab" tabs in
+    let prog' =
+      match Pipeleon.Pipelet.form ~max_len:4 prog with
+      | [ p ] ->
+        let elements =
+          List.map
+            (fun (start, len) ->
+              let originals = List.filteri (fun j _ -> j >= start && j < start + len) tabs in
+              let cache =
+                Pipeleon.Cache.build ~capacity:2048 ~insert_limit:1e9
+                  ~name:(Printf.sprintf "c%d" start) originals
+              in
+              Pipeleon.Transform.Cached { cache; originals })
+            segments
+        in
+        Pipeleon.Transform.apply prog p elements
+      | _ -> prog
+    in
+    let sim = Nicsim.Sim.create target prog' in
+    let rng = Stdx.Prng.create 777L in
+    (* Correlated flows (as in Fig. 9c): small per-field projections, a
+       large joint key space. *)
+    let triples =
+      Array.init 50 (fun _ ->
+          [ (P4ir.Field.Ipv4_src, Stdx.Prng.next64 rng);
+            (P4ir.Field.Ipv4_dst, Stdx.Prng.next64 rng);
+            (P4ir.Field.Tcp_sport, Stdx.Prng.next64 rng) ])
+    in
+    let flows =
+      Array.init 20_000 (fun i ->
+          triples.(i mod 50) @ [ (P4ir.Field.Tcp_dport, Int64.of_int (i / 50)) ])
+    in
+    let source = Traffic.Workload.of_flows ~zipf_s:1.0 rng flows in
+    ignore (Nicsim.Sim.run_window sim ~duration:1.0 ~packets:(Harness.scaled 5000) ~source);
+    let prof = Nicsim.Sim.current_profile sim in
+    let hit name =
+      match Profile.table_stats prof name with
+      | Some stats -> (
+        match List.assoc_opt "miss" stats.Profile.action_probs with
+        | Some miss -> 1. -. miss
+        | None -> 0.)
+      | None -> 0.
+    in
+    let hits =
+      List.filter_map
+        (fun (start, _) ->
+          let h = hit (Printf.sprintf "c%d" start) in
+          if h > 0. || true then Some h else None)
+        segments
+    in
+    Printf.printf "%-22s mean cache hit rate: %s\n" label
+      (Harness.pct (Stdx.Stats.mean hits))
+  in
+  run "one big cache [1..4]" [ (0, 4) ];
+  run "two caches [1,2][3,4]" [ (0, 2); (2, 2) ];
+  run "four caches [1][2][3][4]" [ (0, 1); (1, 1); (2, 1); (3, 1) ]
+
+let rmt_contrast () =
+  Harness.subsection "RMT switch pipeline vs multicore SmartNIC (the §1-2 premise)";
+  let prog = Fig11.dash_program () in
+  let profiles =
+    [ ("benign", Profile.uniform prog);
+      ( "heavy-drop",
+        Profile.set_table "acl_l3"
+          { Profile.action_probs = [ ("allow", 0.2); ("deny", 0.8) ];
+            update_rate = 0.;
+            locality = -1. }
+          (Profile.uniform prog) );
+      ( "drop-free",
+        List.fold_left
+          (fun prof name ->
+            Profile.set_table name
+              { Profile.action_probs = [ ("allow", 1.0); ("deny", 0.0) ];
+                update_rate = 0.;
+                locality = -1. }
+              prof)
+          (Profile.uniform prog) [ "acl_l1"; "acl_l2"; "acl_l3" ] ) ]
+  in
+  let cols = [ ("profile", 12); ("smartnic(Gbps)", 15); ("rmt(Gbps)", 10) ] in
+  Harness.print_header cols;
+  List.iter
+    (fun (label, prof) ->
+      let smartnic = Costmodel.Cost.expected_throughput_gbps target prof prog in
+      let rmt =
+        match Costmodel.Rmt.throughput_gbps target prog with
+        | Some g -> Harness.f1 g
+        | None -> "no fit"
+      in
+      Harness.print_row cols [ label; Harness.f1 smartnic; rmt ])
+    profiles;
+  Printf.printf
+    "RMT is profile-independent once packed (uses %d stages, dependency diameter %d);\n\
+     the SmartNIC's throughput moves with the traffic - that variance is what\n\
+     Pipeleon optimizes.\n"
+    (match Costmodel.Rmt.pack target prog with
+     | Costmodel.Rmt.Fits p -> p.Costmodel.Rmt.stages_used
+     | Costmodel.Rmt.Does_not_fit _ -> -1)
+    (Costmodel.Rmt.dependency_diameter prog)
+
+let incremental_vs_full () =
+  Harness.subsection "full reload vs incremental hot-patch deployment (§6)";
+  let run mode =
+    let target = Costmodel.Target.agilio_cx in
+    let sim = Nicsim.Sim.create target (Fig11.dash_program ()) in
+    let config =
+      { Runtime.Controller.reconfig_downtime = 2.0;
+        min_relative_gain = 0.05;
+        deploy_mode = mode;
+        optimizer = { Pipeleon.Optimizer.default_config with top_k = 1.0 } }
+    in
+    let ctl = Runtime.Controller.create ~config sim ~original:(Fig11.dash_program ()) in
+    let rng = Stdx.Prng.create 404L in
+    let flows =
+      Traffic.Workload.random_flows rng ~n:64
+        ~fields:
+          [ P4ir.Field.Ipv4_src; P4ir.Field.Ipv4_dst; P4ir.Field.Tcp_sport; P4ir.Field.Tcp_dport ]
+    in
+    let source = Traffic.Workload.of_flows ~zipf_s:1.3 rng flows in
+    ignore (Nicsim.Sim.run_window sim ~duration:10.0 ~packets:(Harness.scaled 1500) ~source);
+    let t_before = Nicsim.Sim.now sim in
+    let report = Runtime.Controller.tick ctl in
+    let downtime = Nicsim.Sim.now sim -. t_before in
+    let after = Nicsim.Sim.run_window sim ~duration:10.0 ~packets:(Harness.scaled 1500) ~source in
+    (report.Runtime.Controller.reoptimized, downtime, after.Nicsim.Sim.throughput_gbps)
+  in
+  let re_f, down_f, thr_f = run Runtime.Controller.Full in
+  let re_i, down_i, thr_i = run Runtime.Controller.Incremental in
+  Printf.printf "full:        redeployed=%b downtime=%.2fs next-window=%.1f Gbps\n" re_f down_f thr_f;
+  Printf.printf "incremental: redeployed=%b downtime=%.2fs next-window=%.1f Gbps\n" re_i down_i thr_i
+
+let queueing_curve () =
+  Harness.subsection "queueing refinement: latency vs offered load (M/M/c view)";
+  let service = 30.0 in
+  let capacity = Costmodel.Target.throughput_gbps target ~latency:service in
+  Printf.printf "service latency %.0f units -> saturation at %.1f Gbps (%d cores)\n" service
+    capacity target.Costmodel.Target.num_cores;
+  let cols = [ ("load(Gbps)", 11); ("sojourn", 8); ("inflation", 10) ] in
+  Harness.print_header cols;
+  List.iter
+    (fun frac ->
+      let offered = frac *. capacity in
+      match Costmodel.Queueing.expected_sojourn target ~service_latency:service ~offered_gbps:offered with
+      | Some s ->
+        Harness.print_row cols
+          [ Harness.f1 offered; Harness.f1 s; Printf.sprintf "%.2fx" (s /. service) ]
+      | None -> Harness.print_row cols [ Harness.f1 offered; "-"; "unstable" ])
+    [ 0.3; 0.6; 0.8; 0.9; 0.95; 0.99; 1.05 ]
+
+let run () =
+  Harness.section "Ablations";
+  dp_vs_greedy ();
+  node_sum_vs_paths ();
+  cache_partitioning ();
+  rmt_contrast ();
+  incremental_vs_full ();
+  queueing_curve ()

@@ -1,0 +1,136 @@
+(* Figure 5 (§3.1): calibrate the cost model from benchmark programs on
+   the BlueField2-like target, then validate its predictions against
+   fresh simulator measurements across four sweeps: program length,
+   action primitives, LPM tables, ternary tables. *)
+
+let target = Costmodel.Target.bluefield2
+
+let flow_source rng =
+  Traffic.Workload.of_flows rng
+    (Traffic.Workload.random_flows rng ~n:512
+       ~fields:[ P4ir.Field.Ipv4_src; P4ir.Field.Ipv4_dst; P4ir.Field.Tcp_sport ])
+
+let exact_program ~n ~prims =
+  P4ir.Program.linear
+    (Printf.sprintf "exact%d_%d" n prims)
+    (P4ir.Builder.exact_chain ~prefix:"t" ~n ~actions_per_table:2
+       ~extra_prims:(prims - 1)
+       ~key_of:(fun i -> [| P4ir.Field.Ipv4_src; P4ir.Field.Ipv4_dst; P4ir.Field.Tcp_sport |].(i mod 3))
+       ())
+
+let lpm_table i =
+  P4ir.Table.make
+    ~name:(Printf.sprintf "lpm%d" i)
+    ~keys:[ P4ir.Builder.lpm_key P4ir.Field.Ipv4_dst ]
+    ~actions:[ P4ir.Builder.forward_action "fwd"; P4ir.Action.nop "def" ]
+    ~default_action:"def"
+    ~entries:
+      (List.init 9 (fun j ->
+           let len = [| 8; 16; 24 |].(j mod 3) in
+           P4ir.Table.entry
+             [ P4ir.Pattern.Lpm (Int64.shift_left (Int64.of_int (j + 1)) (32 - len), len) ]
+             "fwd"))
+    ()
+
+let ternary_table i =
+  P4ir.Table.make
+    ~name:(Printf.sprintf "tern%d" i)
+    ~keys:[ P4ir.Builder.ternary_key P4ir.Field.Ipv4_src ]
+    ~actions:[ P4ir.Builder.forward_action "fwd"; P4ir.Action.nop "def" ]
+    ~default_action:"def"
+    ~entries:
+      (List.init 10 (fun j ->
+           let mask = [| 0xFFL; 0xFF00L; 0xFFFF00L; 0xFF000000L; 0xFFFFL |].(j mod 5) in
+           P4ir.Table.entry ~priority:j
+             [ P4ir.Pattern.Ternary (Int64.of_int (j * 1024), mask) ]
+             "fwd"))
+    ()
+
+let measure prog =
+  let sim = Nicsim.Sim.create target prog in
+  let rng = Stdx.Prng.create 5L in
+  Harness.measure_latency ~packets:(Harness.scaled 1500) sim (flow_source rng)
+
+(* "More than 300 P4 programs" (§3.1): densely sweep the four dimensions
+   for calibration. *)
+let calibrate () =
+  let exact_sweep =
+    List.map
+      (fun n ->
+        { Costmodel.Calibrate.x = float_of_int n; latency = measure (exact_program ~n ~prims:1) })
+      (List.init 16 (fun i -> 5 + (2 * i)))
+  in
+  let action_sweep =
+    List.map
+      (fun prims ->
+        { Costmodel.Calibrate.x = float_of_int (20 * prims);
+          latency = measure (exact_program ~n:20 ~prims) })
+      [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+  in
+  let lpm_sweep =
+    List.map
+      (fun n ->
+        { Costmodel.Calibrate.x = float_of_int n;
+          latency = measure (P4ir.Program.linear "lpms" (List.init n lpm_table)) })
+      [ 8; 10; 12; 14; 16 ]
+  in
+  let ternary_sweep =
+    List.map
+      (fun n ->
+        { Costmodel.Calibrate.x = float_of_int n;
+          latency = measure (P4ir.Program.linear "terns" (List.init n ternary_table)) })
+      [ 8; 10; 12; 14; 16 ]
+  in
+  Costmodel.Calibrate.calibrate ~exact_sweep ~action_sweep ~lpm_sweep ~ternary_sweep
+
+let validate_sweep ~title ~cols cases =
+  Harness.subsection title;
+  Harness.print_header cols;
+  let deviations = ref [] in
+  List.iter
+    (fun (x, measured_latency, predicted_latency) ->
+      let measured_thr = Costmodel.Target.throughput_gbps target ~latency:measured_latency in
+      let predicted_thr = Costmodel.Target.throughput_gbps target ~latency:predicted_latency in
+      let norm = predicted_thr /. measured_thr in
+      deviations := Float.abs (norm -. 1.) :: !deviations;
+      Harness.print_row cols
+        [ string_of_int x; Harness.f1 measured_thr; Harness.f1 predicted_thr; Harness.f3 norm ])
+    cases;
+  Printf.printf "mean |deviation| = %s\n" (Harness.pct (Stdx.Stats.mean !deviations))
+
+let run () =
+  Harness.section "Figure 5: cost model vs simulator measurements (BlueField2-like)";
+  let c = calibrate () in
+  Printf.printf
+    "calibrated: L_mat=%.3f (R2=%.3f)  L_act=%.3f (R2=%.3f)  m_lpm=%.2f  m_ternary=%.2f\n"
+    c.Costmodel.Calibrate.l_mat_fit.slope c.l_mat_fit.r2 c.l_act_fit.slope c.l_act_fit.r2
+    c.m_lpm c.m_ternary;
+  let fitted = Costmodel.Calibrate.apply c target in
+  let predict prog =
+    Costmodel.Cost.expected_latency fitted (Profile.uniform prog) prog
+  in
+  let cols = [ ("x", 6); ("meas(Gbps)", 11); ("model(Gbps)", 11); ("norm", 6) ] in
+  validate_sweep ~title:"(a) number of exact tables (2 actions each)" ~cols
+    (List.map
+       (fun n ->
+         let p = exact_program ~n ~prims:1 in
+         (n, measure p, predict p))
+       [ 10; 20; 30; 40 ]);
+  validate_sweep ~title:"(b) action primitives (20 exact tables)" ~cols
+    (List.map
+       (fun prims ->
+         let p = exact_program ~n:20 ~prims in
+         (prims, measure p, predict p))
+       [ 2; 4; 6; 8 ]);
+  validate_sweep ~title:"(c) LPM tables (3 distinct prefixes)" ~cols
+    (List.map
+       (fun n ->
+         let p = P4ir.Program.linear "lpmv" (List.init n lpm_table) in
+         (n, measure p, predict p))
+       [ 10; 12; 14; 16 ]);
+  validate_sweep ~title:"(d) ternary tables (5 distinct masks)" ~cols
+    (List.map
+       (fun n ->
+         let p = P4ir.Program.linear "ternv" (List.init n ternary_table) in
+         (n, measure p, predict p))
+       [ 10; 12; 14; 16 ])

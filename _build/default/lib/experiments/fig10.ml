@@ -1,0 +1,106 @@
+(* Figure 10 (§5.2.2): synthesized single-pipelet programs in three
+   workload categories, optimized with one technique at a time; report
+   average cost-model latency reduction by pipelet length. *)
+
+let target = Costmodel.Target.bluefield2
+
+type technique = Reordering | Merging | Caching
+
+let technique_name = function
+  | Reordering -> "Reordering"
+  | Merging -> "Merging"
+  | Caching -> "Caching"
+
+let combo_uses technique (c : Pipeleon.Candidate.combo) =
+  let identity = List.init (List.length c.order) Fun.id in
+  match technique with
+  | Reordering -> c.segs = [] && c.order <> identity
+  | Merging ->
+    c.order = identity
+    && c.segs <> []
+    && List.for_all
+         (fun (s : Pipeleon.Candidate.seg) -> s.kind <> Pipeleon.Candidate.Cache_seg)
+         c.segs
+  | Caching ->
+    c.order = identity
+    && c.segs <> []
+    && List.for_all
+         (fun (s : Pipeleon.Candidate.seg) -> s.kind = Pipeleon.Candidate.Cache_seg)
+         c.segs
+
+(* Best relative latency reduction achievable with one technique on a
+   single-pipelet program, per the cost model. *)
+let best_reduction rng technique category ~pl =
+  let params =
+    { Synth.sections = 1;
+      pipelet_len = pl;
+      diamond_prob = 0.;
+      complex_tables = (category <> Synth.Small_static);
+      category = Some category }
+  in
+  let prog = Synth.program ~params rng in
+  let prof = Synth.profile ~category rng prog in
+  match Pipeleon.Pipelet.form prog with
+  | [ pipelet ] -> (
+    let tabs = Pipeleon.Pipelet.tables prog pipelet in
+    let opts = { Pipeleon.Candidate.default_options with max_merge_len = 2 } in
+    let combos =
+      List.filter (combo_uses technique) (Pipeleon.Candidate.enumerate ~opts prof tabs)
+    in
+    let evaluated =
+      List.filter_map
+        (fun combo ->
+          match Pipeleon.Candidate.realize ~opts ~name_prefix:"f10" tabs combo with
+          | None -> None
+          | Some elements -> (
+            match
+              Pipeleon.Candidate.evaluate target prof ~reach_prob:1.0 ~originals:tabs
+                combo elements
+            with
+            | e -> Some e
+            | exception Invalid_argument _ -> None))
+        combos
+    in
+    match Pipeleon.Candidate.best_of evaluated with
+    | Some best ->
+      (* Relative to the pipelet's own processing cost: the fixed
+         per-packet pipeline overhead is not optimizable. *)
+      (best.latency_before -. best.latency_after)
+      /. Float.max 1e-9 (best.latency_before -. target.Costmodel.Target.l_fixed)
+    | None -> 0.)
+  | _ -> 0.
+
+let run () =
+  Harness.section "Figure 10: synthesized programs, per-technique latency reduction";
+  let categories =
+    [ (Synth.Heavy_drop, "Heavy packet drop", Reordering);
+      (Synth.Small_static, "Small static tables", Merging);
+      (Synth.High_locality, "High traffic locality", Caching) ]
+  in
+  let pl_buckets = [ (1, 2); (2, 3); (3, 4) ] in
+  let programs_per_point = Harness.scaled 100 in
+  List.iter
+    (fun (category, label, _) ->
+      Harness.subsection label;
+      let cols =
+        [ ("PL", 5); ("Reordering", 11); ("Merging", 11); ("Caching", 11) ]
+      in
+      Harness.print_header cols;
+      List.iter
+        (fun (lo, hi) ->
+          let rng = Stdx.Prng.create 77L in
+          let avg technique =
+            let samples =
+              List.init programs_per_point (fun i ->
+                  let pl = if i mod 2 = 0 then lo else hi in
+                  best_reduction rng technique category ~pl)
+            in
+            Stdx.Stats.mean samples
+          in
+          Harness.print_row cols
+            [ Printf.sprintf "%d~%d" lo hi;
+              Harness.pct (avg Reordering);
+              Harness.pct (avg Merging);
+              Harness.pct (avg Caching) ])
+        pl_buckets)
+    categories

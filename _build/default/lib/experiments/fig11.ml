@@ -1,0 +1,307 @@
+(* Figure 11 (§5.3): end-to-end runtime case studies.
+
+   (a) Service load balancer on BlueField2-like: a cache-everything
+       baseline collapses under an entry-insertion burst and an ACL
+       drop-rate change; Pipeleon re-optimizes past both.
+   (b) DASH-style packet routing on Agilio-like: merge + reorder under
+       biased drop, switch to caching under long-lived flows; redeploys
+       pay a reload downtime.
+   (c) NF composition on the BMv2-style emulated NIC: shifting hotspots
+       across nine pipelets, top-30% re-optimization. *)
+
+let fields4 =
+  [ P4ir.Field.Ipv4_src; P4ir.Field.Ipv4_dst; P4ir.Field.Tcp_sport; P4ir.Field.Tcp_dport ]
+
+let deny_value = 0xD00DL
+
+let exact_t ~name ~field ~entries =
+  P4ir.Table.make ~name
+    ~keys:[ P4ir.Builder.exact_key field ]
+    ~actions:[ P4ir.Builder.forward_action "fwd"; P4ir.Action.nop "def" ]
+    ~default_action:"def"
+    ~entries:
+      (List.init entries (fun j -> P4ir.Table.entry [ P4ir.Pattern.Exact (Int64.of_int j) ] "fwd"))
+    ()
+
+let acl_t ~name ~field =
+  P4ir.Table.add_entry
+    (P4ir.Builder.acl_table ~name ~keys:[ P4ir.Builder.exact_key field ] ())
+    (P4ir.Table.entry [ P4ir.Pattern.Exact deny_value ] "deny")
+
+(* --- (a) load balancer --- *)
+
+let ternary_t ~name ~field =
+  P4ir.Table.make ~name
+    ~keys:[ P4ir.Builder.ternary_key field ]
+    ~actions:[ P4ir.Builder.forward_action "fwd"; P4ir.Action.nop "def" ]
+    ~default_action:"def"
+    ~entries:
+      (List.init 10 (fun j ->
+           let mask = [| 0xFFL; 0xFF00L; 0xFFFFL; 0xFF0000L; 0xFFFFFFL |].(j mod 5) in
+           P4ir.Table.entry ~priority:j [ P4ir.Pattern.Ternary (Int64.of_int (j * 5), mask) ] "fwd"))
+    ()
+
+let lb_program () =
+  let regular =
+    List.init 8 (fun i ->
+        ternary_t ~name:(Printf.sprintf "proc%d" i) ~field:(List.nth fields4 (i mod 4)))
+  in
+  let lb =
+    [ exact_t ~name:"lb_vip" ~field:P4ir.Field.Ipv4_dst ~entries:32;
+      exact_t ~name:"lb_backend" ~field:P4ir.Field.Tcp_sport ~entries:32 ]
+  in
+  let acls =
+    [ acl_t ~name:"acl1" ~field:P4ir.Field.Udp_sport;
+      acl_t ~name:"acl2" ~field:P4ir.Field.Udp_dport ]
+  in
+  P4ir.Program.linear "loadbalancer" (regular @ lb @ acls)
+
+(* Deploy "cache the whole program" — the static baseline. *)
+let whole_program_cache prog =
+  match Pipeleon.Pipelet.form ~max_len:100 prog with
+  | [ p ] ->
+    let tabs = Pipeleon.Pipelet.tables prog p in
+    let cache =
+      Pipeleon.Cache.build ~max_actions:8192 ~capacity:8192 ~insert_limit:1e9
+        ~name:"bigcache" tabs
+    in
+    Pipeleon.Transform.apply prog p [ Pipeleon.Transform.Cached { cache; originals = tabs } ]
+  | _ -> invalid_arg "whole_program_cache: expected one pipelet"
+
+let run_a () =
+  Harness.section "Figure 11a: load balancer on BlueField2-like";
+  let target = Costmodel.Target.bluefield2 in
+  let make_controller frozen =
+    let sim = Nicsim.Sim.create target (whole_program_cache (lb_program ())) in
+    let config =
+      { Runtime.Controller.default_config with
+        min_relative_gain = (if frozen then infinity else 0.02);
+        optimizer =
+          { Pipeleon.Optimizer.default_config with
+            top_k = 1.0;
+            candidate_opts =
+              { Pipeleon.Candidate.default_options with cache_capacity = 8192 } } }
+    in
+    Runtime.Controller.create ~config sim ~original:(lb_program ())
+  in
+  let baseline = make_controller true in
+  let pipeleon = make_controller false in
+  let cols = [ ("time(s)", 8); ("pipeleon(Gbps)", 15); ("baseline(Gbps)", 15) ] in
+  Harness.print_header cols;
+  let window = 2.5 in
+  let packets = Harness.scaled 1200 in
+  let rngs = (Stdx.Prng.create 31L, Stdx.Prng.create 31L, Stdx.Prng.create 99L) in
+  let rng_p, rng_b, rng_ins = rngs in
+  let flows rng =
+    Traffic.Workload.random_flows rng ~n:600 ~fields:fields4
+  in
+  let flows_p = flows rng_p and flows_b = flows rng_b in
+  let t = ref 0.0 in
+  while !t < 50.0 -. 1e-9 do
+    let phase_insertion = !t >= 16.0 && !t < 32.0 in
+    let phase_dropchange = !t >= 32.0 in
+    let source rng flows =
+      let base = Traffic.Workload.of_flows ~zipf_s:1.1 rng flows in
+      if phase_dropchange then (fun () ->
+        (* Dropped traffic is scan-like: the denied dport plus a random
+           source port per packet, so per-flow caches cannot absorb it. *)
+        let pkt = base () in
+        if Stdx.Prng.bool rng 0.5 then begin
+          Nicsim.Packet.set pkt P4ir.Field.Udp_dport deny_value;
+          Nicsim.Packet.set pkt P4ir.Field.Udp_sport (Stdx.Prng.next64 rng)
+        end;
+        pkt)
+      else base
+    in
+    (* A high entry-insertion rate invalidates caches via the API map.
+       Inserts are interleaved with traffic (sub-windows), as a real
+       control plane's would be — otherwise caches quietly re-warm
+       between windows and the invalidation cost is invisible. *)
+    let chunks = if phase_insertion then 8 else 1 in
+    let run_chunked ctl rng flows =
+      let src = source rng flows in
+      let merge acc (s : Nicsim.Sim.window_stats) =
+        match acc with
+        | None -> Some s
+        | Some a ->
+          Some
+            { a with
+              Nicsim.Sim.avg_latency =
+                ((a.Nicsim.Sim.avg_latency *. float_of_int a.Nicsim.Sim.sampled_packets)
+                 +. (s.Nicsim.Sim.avg_latency *. float_of_int s.Nicsim.Sim.sampled_packets))
+                /. float_of_int (a.Nicsim.Sim.sampled_packets + s.Nicsim.Sim.sampled_packets);
+              Nicsim.Sim.sampled_packets =
+                a.Nicsim.Sim.sampled_packets + s.Nicsim.Sim.sampled_packets }
+      in
+      let acc = ref None in
+      for c = 0 to chunks - 1 do
+        if phase_insertion then
+          for i = 0 to (40 / chunks) - 1 do
+            let v = Int64.of_int (1000 + Stdx.Prng.int rng_ins 100000 + (c * 64) + i) in
+            Runtime.Controller.insert ctl ~table:"lb_backend"
+              (P4ir.Table.entry [ P4ir.Pattern.Exact v ] "fwd")
+          done;
+        let s =
+          Nicsim.Sim.run_window (Runtime.Controller.sim ctl)
+            ~duration:(window /. float_of_int chunks)
+            ~packets:(max 1 (packets / chunks))
+            ~source:src
+        in
+        acc := merge !acc s
+      done;
+      let s = Option.get !acc in
+      { s with
+        Nicsim.Sim.throughput_gbps =
+          Costmodel.Target.throughput_gbps target ~latency:s.Nicsim.Sim.avg_latency }
+    in
+    let s_p = run_chunked pipeleon rng_p flows_p in
+    let s_b = run_chunked baseline rng_b flows_b in
+    Harness.print_row cols
+      [ Harness.f1 !t;
+        Harness.f1 s_p.Nicsim.Sim.throughput_gbps;
+        Harness.f1 s_b.Nicsim.Sim.throughput_gbps ];
+    if int_of_float (!t /. window) mod 2 = 1 then ignore (Runtime.Controller.tick pipeleon);
+    t := !t +. window
+  done
+
+(* --- (b) DASH-style routing on Agilio --- *)
+
+let dash_program () =
+  let direction = exact_t ~name:"direction_lookup" ~field:P4ir.Field.Ingress_port ~entries:2 in
+  let meta =
+    [ exact_t ~name:"appliance_id" ~field:P4ir.Field.Eth_dst ~entries:4;
+      exact_t ~name:"eni_lookup" ~field:P4ir.Field.Eth_src ~entries:4;
+      exact_t ~name:"vni_map" ~field:P4ir.Field.Ipv4_dscp ~entries:4 ]
+  in
+  let conntrack = exact_t ~name:"conntrack" ~field:P4ir.Field.Tcp_sport ~entries:64 in
+  let acls =
+    List.init 3 (fun i ->
+        let base =
+          P4ir.Builder.acl_table
+            ~name:(Printf.sprintf "acl_l%d" (i + 1))
+            ~keys:[ P4ir.Builder.ternary_key (List.nth fields4 i) ]
+            ()
+        in
+        List.fold_left
+          (fun tab mask ->
+            P4ir.Table.add_entry tab
+              (P4ir.Table.entry ~priority:1
+                 [ P4ir.Pattern.Ternary (Int64.logand deny_value mask, mask) ]
+                 "deny"))
+          base [ 0xFFFFL; 0xFFFEL; 0xFFFCL; 0xFFF8L; 0xFFF0L ])
+  in
+  let routing =
+    P4ir.Table.make ~name:"routing"
+      ~keys:[ P4ir.Builder.lpm_key P4ir.Field.Ipv4_dst ]
+      ~actions:[ P4ir.Builder.forward_action "route"; P4ir.Action.nop "def" ]
+      ~default_action:"def"
+      ~entries:
+        (List.init 9 (fun j ->
+             let len = [| 8; 16; 24 |].(j mod 3) in
+             P4ir.Table.entry
+               [ P4ir.Pattern.Lpm (Int64.shift_left (Int64.of_int (j + 1)) (32 - len), len) ]
+               "route"))
+      ()
+  in
+  P4ir.Program.linear "dash_routing" ((direction :: meta) @ [ conntrack ] @ acls @ [ routing ])
+
+let run_b () =
+  Harness.section "Figure 11b: DASH-style packet routing on Agilio-like (reload on redeploy)";
+  let target = Costmodel.Target.agilio_cx in
+  let sim = Nicsim.Sim.create target (dash_program ()) in
+  let config =
+    { Runtime.Controller.default_config with
+      Runtime.Controller.reconfig_downtime = 2.0;
+      min_relative_gain = 0.05;
+      optimizer =
+        { Pipeleon.Optimizer.default_config with
+          top_k = 1.0;
+          candidate_opts =
+            (* The DASH prefix is four tiny static tables: allow merging
+               all of them (the paper's phase-1 win). *)
+            { Pipeleon.Candidate.default_options with max_merge_len = 4 } } }
+  in
+  let controller = Runtime.Controller.create ~config sim ~original:(dash_program ()) in
+  let baseline_sim = Nicsim.Sim.create target (dash_program ()) in
+  let cols = [ ("time(s)", 8); ("pipeleon(Gbps)", 15); ("baseline(Gbps)", 15) ] in
+  Harness.print_header cols;
+  let window = 10.0 in
+  let packets = Harness.scaled 1500 in
+  let rng_p = Stdx.Prng.create 41L and rng_b = Stdx.Prng.create 41L in
+  let t = ref 0.0 in
+  while !t < 250.0 -. 1e-9 do
+    let long_flow_phase = !t >= 120.0 in
+    let source rng =
+      if long_flow_phase then begin
+        (* Long-lived flows with even, low ACL drop: caching wins. *)
+        let flows = Traffic.Workload.random_flows rng ~n:64 ~fields:fields4 in
+        let base = Traffic.Workload.of_flows ~zipf_s:1.3 rng flows in
+        Traffic.Workload.mark_fraction rng ~rate:0.05 ~field:P4ir.Field.Ipv4_src
+          ~value:deny_value base
+      end
+      else begin
+        (* Short flows; the third ACL drops much more than the others. *)
+        let flows = Traffic.Workload.random_flows rng ~n:4096 ~fields:fields4 in
+        let base = Traffic.Workload.of_flows rng flows in
+        Traffic.Workload.mark_fraction rng ~rate:0.45 ~field:P4ir.Field.Tcp_sport
+          ~value:deny_value base
+      end
+    in
+    let s_p = Nicsim.Sim.run_window sim ~duration:window ~packets ~source:(source rng_p) in
+    let s_b =
+      Nicsim.Sim.run_window baseline_sim ~duration:window ~packets ~source:(source rng_b)
+    in
+    Harness.print_row cols
+      [ Harness.f1 !t;
+        Harness.f1 s_p.Nicsim.Sim.throughput_gbps;
+        Harness.f1 s_b.Nicsim.Sim.throughput_gbps ];
+    ignore (Runtime.Controller.tick controller);
+    t := !t +. window
+  done
+
+(* --- (c) NF composition on the emulated NIC --- *)
+
+let nf_composition () =
+  (* Three NFs strung together, each a diamond of pipelets: 9 pipelets
+     total (§5.3.3), with LPM/ternary tables in the mix. *)
+  let rng = Stdx.Prng.create 53L in
+  let params =
+    { Synth.default_params with sections = 4; pipelet_len = 3; diamond_prob = 0.75 }
+  in
+  ignore rng;
+  let rng2 = Stdx.Prng.create 530L in
+  Synth.program ~params rng2
+
+let run_c () =
+  Harness.section "Figure 11c: NF composition on the BMv2-style emulated NIC (top-30%)";
+  let target = Costmodel.Target.emulated_nic in
+  let prog = nf_composition () in
+  let config =
+    { Runtime.Controller.default_config with
+      min_relative_gain = 0.02;
+      optimizer = { Pipeleon.Optimizer.default_config with top_k = 0.3 } }
+  in
+  let sim = Nicsim.Sim.create target prog in
+  let controller = Runtime.Controller.create ~config sim ~original:prog in
+  let baseline_sim = Nicsim.Sim.create target (nf_composition ()) in
+  let cols = [ ("window", 8); ("pipeleon(lat)", 14); ("baseline(lat)", 14) ] in
+  Harness.print_header cols;
+  let packets = Harness.scaled 1200 in
+  let rng_p = Stdx.Prng.create 61L and rng_b = Stdx.Prng.create 61L in
+  for w = 0 to 19 do
+    (* Shift which NF is hot every 5 windows by steering the protocol
+       field that the diamonds branch on. *)
+    let proto = Int64.of_int ([| 6; 17; 47; 6 |].(w / 5)) in
+    let source rng =
+      let flows = Traffic.Workload.random_flows rng ~n:512 ~fields:fields4 in
+      Traffic.Workload.override ~field:P4ir.Field.Ipv4_proto ~value:proto
+        (Traffic.Workload.of_flows ~zipf_s:1.2 rng flows)
+    in
+    let s_p = Nicsim.Sim.run_window sim ~duration:5.0 ~packets ~source:(source rng_p) in
+    let s_b =
+      Nicsim.Sim.run_window baseline_sim ~duration:5.0 ~packets ~source:(source rng_b)
+    in
+    Harness.print_row cols
+      [ string_of_int w; Harness.f1 s_p.Nicsim.Sim.avg_latency; Harness.f1 s_b.Nicsim.Sim.avg_latency ];
+    ignore (Runtime.Controller.tick controller)
+  done

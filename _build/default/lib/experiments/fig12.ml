@@ -1,0 +1,63 @@
+(* Figure 12 (§5.4.1): profiling overhead. Latency increase and
+   throughput degradation vs number of per-packet counter updates, for
+   simple and complex actions, with and without 1/1024 sampling, on the
+   Agilio-like and BlueField2-like targets. *)
+
+let program ~tables ~prims =
+  P4ir.Program.linear
+    (Printf.sprintf "ovh%d_%d" tables prims)
+    (P4ir.Builder.exact_chain ~prefix:"t" ~n:tables ~actions_per_table:2
+       ~extra_prims:(prims - 1)
+       ~key_of:(fun i ->
+         [| P4ir.Field.Ipv4_src; P4ir.Field.Ipv4_dst; P4ir.Field.Tcp_sport |].(i mod 3))
+       ())
+
+let measure target prog ~instrumented ~sample_rate =
+  let cfg =
+    { (Nicsim.Exec.default_config target) with
+      Nicsim.Exec.instrumented; sample_rate }
+  in
+  let sim = Nicsim.Sim.create ~config:cfg target prog in
+  let rng = Stdx.Prng.create 13L in
+  let source =
+    Traffic.Workload.of_flows rng
+      (Traffic.Workload.random_flows rng ~n:256
+         ~fields:[ P4ir.Field.Ipv4_src; P4ir.Field.Ipv4_dst; P4ir.Field.Tcp_sport ])
+  in
+  let stats =
+    Nicsim.Sim.run_window sim ~duration:1.0 ~packets:(Harness.scaled 2000) ~source
+  in
+  (stats.Nicsim.Sim.avg_latency, stats.Nicsim.Sim.throughput_gbps)
+
+let overhead_rows target =
+  let cols =
+    [ ("updates", 8); ("simple lat+%", 13); ("complex lat+%", 14);
+      ("simple thr-%", 13); ("complex thr-%", 14); ("sampled lat+%", 14) ]
+  in
+  Harness.print_header cols;
+  List.iter
+    (fun tables ->
+      let row prims ~sample_rate =
+        let prog = program ~tables ~prims in
+        let lat0, thr0 = measure target prog ~instrumented:false ~sample_rate:1 in
+        let lat1, thr1 = measure target prog ~instrumented:true ~sample_rate in
+        ((lat1 -. lat0) /. lat0, (thr0 -. thr1) /. thr0)
+      in
+      let simple_lat, simple_thr = row 1 ~sample_rate:1 in
+      let complex_lat, complex_thr = row 4 ~sample_rate:1 in
+      let sampled_lat, _ = row 1 ~sample_rate:1024 in
+      Harness.print_row cols
+        [ string_of_int tables;
+          Harness.pct simple_lat;
+          Harness.pct complex_lat;
+          Harness.pct simple_thr;
+          Harness.pct complex_thr;
+          Harness.pct sampled_lat ])
+    [ 20; 30; 40 ]
+
+let run () =
+  Harness.section "Figure 12: profiling overhead";
+  Harness.subsection "(a)/(b) Agilio-like: latency and throughput overhead";
+  overhead_rows Costmodel.Target.agilio_cx;
+  Harness.subsection "(c) BlueField2-like: cheap hardware counters";
+  overhead_rows Costmodel.Target.bluefield2

@@ -1,0 +1,52 @@
+(* Figure 13 (§5.4.2): optimization turnaround time vs top-k, over 300
+   synthesized programs in three (pipelet count, pipelet length) groups;
+   ESearch is top-100%. *)
+
+let target = Costmodel.Target.bluefield2
+
+let groups =
+  [ ("PN~12, PL=2", { Synth.default_params with sections = 9; pipelet_len = 2; diamond_prob = 0.45 });
+    ("PN~13, PL=3", { Synth.default_params with sections = 9; pipelet_len = 3; diamond_prob = 0.45 });
+    ("PN~15, PL=3", { Synth.default_params with sections = 11; pipelet_len = 3; diamond_prob = 0.45 }) ]
+
+let k_values = [ 0.2; 0.3; 0.4; 1.0 ]
+
+let time_one params k rng =
+  let prog = Synth.program ~params rng in
+  let prof = Synth.profile rng prog in
+  let config =
+    { Pipeleon.Optimizer.default_config with top_k = k; enable_groups = false }
+  in
+  let result = Pipeleon.Optimizer.optimize ~config target prof prog in
+  (result.Pipeleon.Optimizer.search_seconds, result.Pipeleon.Optimizer.pipelets_total)
+
+let run () =
+  Harness.section "Figure 13: top-k optimization time (ESearch = k=100%)";
+  let programs_per_group = Harness.scaled 100 in
+  List.iter
+    (fun (label, params) ->
+      Harness.subsection label;
+      let avg_pn = ref 0 in
+      let times_by_k =
+        List.map
+          (fun k ->
+            let rng = Stdx.Prng.create 1234L in
+            let samples =
+              List.init programs_per_group (fun _ ->
+                  let t, pn = time_one params k rng in
+                  avg_pn := !avg_pn + pn;
+                  t *. 1000.)
+            in
+            (k, samples))
+          k_values
+      in
+      Printf.printf "avg pipelets per program: %.1f\n"
+        (float_of_int !avg_pn /. float_of_int (programs_per_group * List.length k_values));
+      List.iter
+        (fun (k, samples) ->
+          Harness.print_cdf ~label:(Printf.sprintf "k=%.0f%% time(ms)" (k *. 100.)) samples)
+        times_by_k;
+      let median k = Stdx.Stats.median (List.assoc k times_by_k) in
+      Printf.printf "speedup of top-20%% over ESearch (median): %.1fx\n"
+        (median 1.0 /. Float.max 1e-9 (median 0.2)))
+    groups

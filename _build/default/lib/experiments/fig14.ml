@@ -1,0 +1,71 @@
+(* Figure 14 (§5.4.3): top-k effectiveness relative to ESearch under
+   profiles of different entropy (traffic aggregation). For each program
+   we synthesize many random profiles, pick the 10th/50th/90th entropy
+   percentiles, and compare top-k gain to the exhaustive-search gain. *)
+
+let target = Costmodel.Target.bluefield2
+
+let params = { Synth.default_params with sections = 9; pipelet_len = 2; diamond_prob = 0.45 }
+
+let gain_with_k prog prof k =
+  let config =
+    { Pipeleon.Optimizer.default_config with top_k = k; enable_groups = false }
+  in
+  let result = Pipeleon.Optimizer.optimize ~config target prof prog in
+  result.Pipeleon.Optimizer.plan.Pipeleon.Search.predicted_gain
+
+let entropy_profiles rng prog ~candidates =
+  let profiles =
+    List.init candidates (fun _ ->
+        (* Locality-heavy profiles: optimization gain then tracks traffic
+           share, which is the premise of hot-pipelet selection (§4.1.2). *)
+        let prof = Synth.profile ~category:Synth.High_locality rng prog in
+        (Synth.pipelet_entropy prof prog, prof))
+  in
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) profiles in
+  let nth_pct p =
+    let n = List.length sorted in
+    snd (List.nth sorted (min (n - 1) (int_of_float (float_of_int n *. p /. 100.))))
+  in
+  [ (10., nth_pct 10.); (50., nth_pct 50.); (90., nth_pct 90.) ]
+
+let run () =
+  Harness.section "Figure 14: top-k gain / ESearch gain by profile entropy";
+  let programs = Harness.scaled 50 in
+  let profile_candidates = Harness.scaled 400 in
+  let k_values = [ 0.2; 0.3; 0.4; 0.5 ] in
+  let ratios : (float * float, float list ref) Hashtbl.t = Hashtbl.create 16 in
+  let rng = Stdx.Prng.create 4242L in
+  for _ = 1 to programs do
+    let prog = Synth.program ~params rng in
+    List.iter
+      (fun (entropy_pct, prof) ->
+        let esearch = gain_with_k prog prof 1.0 in
+        if esearch > 1e-9 then
+          List.iter
+            (fun k ->
+              let g = gain_with_k prog prof k in
+              let key = (entropy_pct, k) in
+              let cell =
+                match Hashtbl.find_opt ratios key with
+                | Some r -> r
+                | None ->
+                  let r = ref [] in
+                  Hashtbl.add ratios key r;
+                  r
+              in
+              cell := Float.min 1.0 (g /. esearch) :: !cell)
+            k_values)
+      (entropy_profiles rng prog ~candidates:profile_candidates)
+  done;
+  List.iter
+    (fun entropy_pct ->
+      Harness.subsection (Printf.sprintf "%.0fth-entropy profiles" entropy_pct);
+      List.iter
+        (fun k ->
+          match Hashtbl.find_opt ratios (entropy_pct, k) with
+          | Some r ->
+            Harness.print_cdf ~label:(Printf.sprintf "k=%.0f%% gain ratio" (k *. 100.)) !r
+          | None -> ())
+        k_values)
+    [ 10.; 50.; 90. ]

@@ -1,0 +1,49 @@
+(* Figure 15 (§5.4.4): cross-pipelet group optimization on programs
+   dominated by short (one-table) pipelets. *)
+
+let target = Costmodel.Target.bluefield2
+
+let params =
+  { Synth.default_params with sections = 8; pipelet_len = 1; diamond_prob = 0.8 }
+
+let reduction prog prof ~k ~groups =
+  let config =
+    { Pipeleon.Optimizer.default_config with top_k = k; enable_groups = groups }
+  in
+  let result = Pipeleon.Optimizer.optimize ~config target prof prog in
+  let before = Costmodel.Cost.expected_latency target prof prog in
+  result.Pipeleon.Optimizer.plan.Pipeleon.Search.predicted_gain /. Float.max 1e-9 before
+
+let run () =
+  Harness.section "Figure 15: pipelet-group (cross-pipelet) optimization";
+  let programs = Harness.scaled 60 in
+  Harness.subsection "(a) average latency reduction";
+  let cols = [ ("top-k", 6); ("w/o group", 10); ("w/ group", 10) ] in
+  Harness.print_header cols;
+  let per_k =
+    List.map
+      (fun k ->
+        let rng = Stdx.Prng.create 808L in
+        let samples =
+          List.init programs (fun _ ->
+              let prog = Synth.program ~params rng in
+              let prof =
+                Profile.with_default_cache_hit 0.9
+                  (Synth.profile ~category:Synth.High_locality rng prog)
+              in
+              (reduction prog prof ~k ~groups:false, reduction prog prof ~k ~groups:true))
+        in
+        (k, samples))
+      [ 0.4; 0.5; 0.6 ]
+  in
+  List.iter
+    (fun (k, samples) ->
+      Harness.print_row cols
+        [ Printf.sprintf "%.0f%%" (k *. 100.);
+          Harness.pct (Stdx.Stats.mean (List.map fst samples));
+          Harness.pct (Stdx.Stats.mean (List.map snd samples)) ])
+    per_k;
+  Harness.subsection "(b) per-program latency reduction CDF (k=50%)";
+  let _, samples50 = List.nth per_k 1 in
+  Harness.print_cdf ~label:"w/o group" (List.map fst samples50);
+  Harness.print_cdf ~label:"w/ group" (List.map snd samples50)

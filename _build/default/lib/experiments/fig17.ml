@@ -1,0 +1,113 @@
+(* Figure 17 (Appendix A.2): table copying on heterogeneous ASIC/CPU
+   cores. A chain interleaves CPU-only tables with ASIC-capable ones;
+   the naive partition migrates at every boundary. Copying k of the
+   ASIC-capable tables to the CPU removes crossings. A conditional sends
+   only part of the traffic down the software-needing path. *)
+
+let fields4 =
+  [| P4ir.Field.Ipv4_src; P4ir.Field.Ipv4_dst; P4ir.Field.Tcp_sport; P4ir.Field.Tcp_dport |]
+
+let mk_table name i =
+  P4ir.Table.make ~name
+    ~keys:[ P4ir.Builder.exact_key fields4.(i mod 4) ]
+    ~actions:[ P4ir.Builder.forward_action "fwd"; P4ir.Action.nop "def" ]
+    ~default_action:"def"
+    ~entries:[ P4ir.Table.entry [ P4ir.Pattern.Exact 1L ] "fwd" ]
+    ()
+
+(* sw-arm: hw0 sw0 hw1 sw1 hw2 sw2 hw3 sw3 (sw_i needs CPU); the other
+   arm is a pure-ASIC chain. *)
+let build ~sw_ratio =
+  let sw_arm_tables =
+    List.concat
+      (List.init 4 (fun i -> [ mk_table (Printf.sprintf "hw%d" i) i; mk_table (Printf.sprintf "sw%d" i) (i + 1) ]))
+  in
+  let hw_arm_tables = List.init 4 (fun i -> mk_table (Printf.sprintf "pure%d" i) i) in
+  let prog = P4ir.Program.empty "fig17" in
+  let prog, sw_entry = P4ir.Builder.chain_into prog sw_arm_tables ~exit:None in
+  let prog, hw_entry = P4ir.Builder.chain_into prog hw_arm_tables ~exit:None in
+  let prog, c =
+    P4ir.Program.add_node prog
+      (P4ir.Builder.cond ~name:"steer" ~field:P4ir.Field.Ipv4_proto ~op:P4ir.Program.Eq
+         ~arg:6L ~on_true:(Some sw_entry) ~on_false:(Some hw_entry))
+  in
+  let prog = P4ir.Program.with_root prog (Some c) in
+  P4ir.Program.validate_exn prog;
+  let prof =
+    Profile.set_cond "steer" { Profile.true_prob = sw_ratio } (Profile.uniform prog)
+  in
+  (prog, prof)
+
+(* Placement: sw_i on CPU always; copy the first [copies] hw_i of the
+   software arm onto the CPU as well. *)
+let placement_with_copies prog ~copies =
+  let by_name = Hashtbl.create 16 in
+  List.iter
+    (fun (id, (tab : P4ir.Table.t)) -> Hashtbl.replace by_name id tab.name)
+    (P4ir.Program.tables prog);
+  fun id ->
+    match Hashtbl.find_opt by_name id with
+    | Some name when String.length name >= 2 && String.sub name 0 2 = "sw" -> Costmodel.Cost.Cpu
+    | Some name when String.length name >= 2 && String.sub name 0 2 = "hw" ->
+      let idx = int_of_string (String.sub name 2 (String.length name - 2)) in
+      if idx < copies then Costmodel.Cost.Cpu else Costmodel.Cost.Asic
+    | _ -> Costmodel.Cost.Asic
+
+let latency target prog prof ~copies =
+  Costmodel.Cost.expected_latency ~placement:(placement_with_copies prog ~copies) target
+    prof prog
+
+let run () =
+  Harness.section "Figure 17: migration minimization by table copying (emulated NIC)";
+  let base = Costmodel.Target.emulated_nic in
+  Harness.subsection "(a) vs migration latency (50% software traffic)";
+  let cols =
+    [ ("copies", 7); ("mig=5", 8); ("mig=10", 8); ("mig=20", 8) ]
+  in
+  Harness.print_header cols;
+  let prog, prof = build ~sw_ratio:0.5 in
+  List.iter
+    (fun copies ->
+      let cells =
+        List.map
+          (fun mig ->
+            let target = { base with Costmodel.Target.migration_latency = mig } in
+            Harness.f1 (latency target prog prof ~copies))
+          [ 5.; 10.; 20. ]
+      in
+      Harness.print_row cols (string_of_int copies :: cells))
+    [ 0; 1; 2; 3; 4 ];
+  Harness.subsection "(b) vs software traffic ratio (migration latency 10)";
+  let cols = [ ("copies", 7); ("30% sw", 8); ("50% sw", 8); ("70% sw", 8) ] in
+  Harness.print_header cols;
+  List.iter
+    (fun copies ->
+      let cells =
+        List.map
+          (fun ratio ->
+            let prog, prof = build ~sw_ratio:ratio in
+            Harness.f1 (latency base prog prof ~copies))
+          [ 0.3; 0.5; 0.7 ]
+      in
+      Harness.print_row cols (string_of_int copies :: cells))
+    [ 0; 1; 2; 3; 4 ];
+  Harness.subsection "automatic placement search (Pipeleon.Placement.optimize)";
+  let prog, prof = build ~sw_ratio:0.5 in
+  let by_name = Hashtbl.create 16 in
+  List.iter
+    (fun (id, (tab : P4ir.Table.t)) -> Hashtbl.replace by_name id tab.name)
+    (P4ir.Program.tables prog);
+  let require id =
+    match Hashtbl.find_opt by_name id with
+    | Some name when String.length name >= 2 && String.sub name 0 2 = "sw" ->
+      Pipeleon.Placement.Needs_cpu
+    | _ -> Pipeleon.Placement.Any
+  in
+  let naive = Pipeleon.Placement.naive prog ~require in
+  let optimized = Pipeleon.Placement.optimize base prof prog ~require in
+  Printf.printf "naive:     latency=%.1f migrations=%.2f\n"
+    (Costmodel.Cost.expected_latency ~placement:naive base prof prog)
+    (Pipeleon.Placement.migrations_expected prof prog ~placement:naive);
+  Printf.printf "optimized: latency=%.1f migrations=%.2f\n"
+    (Costmodel.Cost.expected_latency ~placement:optimized base prof prog)
+    (Pipeleon.Placement.migrations_expected prof prog ~placement:optimized)

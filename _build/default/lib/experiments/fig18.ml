@@ -1,0 +1,79 @@
+(* Figures 18 and 19 (Appendix A.3): pipelet traffic distributions at
+   three entropy levels, and the ESearch throughput improvement they
+   admit. *)
+
+let target = Costmodel.Target.bluefield2
+
+let params = { Synth.default_params with sections = 8; pipelet_len = 2; diamond_prob = 0.5 }
+
+let run () =
+  Harness.section "Figure 18: pipelet traffic distributions by entropy";
+  let rng = Stdx.Prng.create 9090L in
+  let prog = Synth.program ~params rng in
+  let candidates = Harness.scaled 2000 in
+  let profiles =
+    List.init candidates (fun _ ->
+        let prof = Synth.profile rng prog in
+        (Synth.pipelet_entropy prof prog, prof))
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let pick p =
+    let n = List.length profiles in
+    List.nth profiles (min (n - 1) (int_of_float (float_of_int n *. p /. 100.)))
+  in
+  List.iter
+    (fun pct ->
+      let entropy, prof = pick pct in
+      Harness.subsection (Printf.sprintf "%.0fth-percentile entropy (H=%.2f bits)" pct entropy);
+      let dist = Synth.pipelet_distribution prof prog in
+      List.iteri
+        (fun i (_, p) -> Printf.printf "pipelet %2d: %5.1f%%  %s\n" (i + 1) (p *. 100.)
+            (String.make (int_of_float (p *. 40.)) '#'))
+        dist)
+    [ 10.; 50.; 90. ];
+  Harness.section "Figure 19: ESearch throughput improvement by entropy";
+  let programs = Harness.scaled 40 in
+  let per_entropy = Hashtbl.create 8 in
+  let rng = Stdx.Prng.create 7070L in
+  for _ = 1 to programs do
+    let prog = Synth.program ~params rng in
+    let profiles =
+      List.init (Harness.scaled 300) (fun _ ->
+          let prof = Synth.profile ~category:Synth.High_locality rng prog in
+          (Synth.pipelet_entropy prof prog, prof))
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    let pick p =
+      let n = List.length profiles in
+      snd (List.nth profiles (min (n - 1) (int_of_float (float_of_int n *. p /. 100.))))
+    in
+    List.iter
+      (fun pct ->
+        let prof = pick pct in
+        let before = Costmodel.Cost.expected_latency target prof prog in
+        let config =
+          { Pipeleon.Optimizer.default_config with top_k = 1.0; enable_groups = false }
+        in
+        let result = Pipeleon.Optimizer.optimize ~config target prof prog in
+        let after = before -. result.Pipeleon.Optimizer.plan.Pipeleon.Search.predicted_gain in
+        (* Throughput ratio = inverse latency ratio below line rate. *)
+        let ratio = before /. Float.max 1e-9 after in
+        let cell =
+          match Hashtbl.find_opt per_entropy pct with
+          | Some r -> r
+          | None ->
+            let r = ref [] in
+            Hashtbl.add per_entropy pct r;
+            r
+        in
+        cell := ratio :: !cell)
+      [ 10.; 50.; 90. ]
+  done;
+  List.iter
+    (fun pct ->
+      match Hashtbl.find_opt per_entropy pct with
+      | Some r ->
+        Harness.print_cdf ~label:(Printf.sprintf "%.0fth entropy: thr improvement" pct) !r;
+        Printf.printf "  mean improvement: %.2fx\n" (Stdx.Stats.mean !r)
+      | None -> ())
+    [ 10.; 50.; 90. ]

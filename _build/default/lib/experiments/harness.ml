@@ -1,0 +1,50 @@
+(* Shared experiment plumbing: column printing, scaling, and small
+   helpers reused across the per-figure modules. *)
+
+let scale = ref 1.0
+(* Global work multiplier: `bench/main.exe --scale 0.2 ...` shrinks
+   ensemble sizes for quick runs. *)
+
+let scaled n = max 1 (int_of_float (ceil (float_of_int n *. !scale)))
+
+let section title =
+  Printf.printf "\n=== %s ===\n%!" title
+
+let subsection title = Printf.printf "\n--- %s ---\n%!" title
+
+let print_header cols =
+  let line = String.concat "  " (List.map (fun (name, width) -> Printf.sprintf "%*s" width name) cols) in
+  print_endline line;
+  print_endline (String.make (String.length line) '-')
+
+let print_row cols cells =
+  print_endline
+    (String.concat "  "
+       (List.map2 (fun (_, width) cell -> Printf.sprintf "%*s" width cell) cols cells))
+
+let f1 v = Printf.sprintf "%.1f" v
+let f2 v = Printf.sprintf "%.2f" v
+let f3 v = Printf.sprintf "%.3f" v
+let pct v = Printf.sprintf "%.1f%%" (v *. 100.)
+
+let print_cdf ~label values =
+  match values with
+  | [] -> Printf.printf "%s: (no data)\n" label
+  | _ ->
+    Printf.printf "%s: n=%d p10=%.3f p25=%.3f p50=%.3f p75=%.3f p90=%.3f\n" label
+      (List.length values)
+      (Stdx.Stats.percentile 10. values)
+      (Stdx.Stats.percentile 25. values)
+      (Stdx.Stats.percentile 50. values)
+      (Stdx.Stats.percentile 75. values)
+      (Stdx.Stats.percentile 90. values)
+
+(* Standard measurement: expected throughput of a program under a flow
+   workload on a simulator, over one window. *)
+let measure_throughput ?(packets = 2000) ?(duration = 1.0) sim source =
+  let stats = Nicsim.Sim.run_window sim ~duration ~packets ~source in
+  stats.Nicsim.Sim.throughput_gbps
+
+let measure_latency ?(packets = 2000) ?(duration = 1.0) sim source =
+  let stats = Nicsim.Sim.run_window sim ~duration ~packets ~source in
+  stats.Nicsim.Sim.avg_latency

@@ -1,0 +1,211 @@
+(* Program and profile synthesizer, standing in for the Gauntlet-based
+   generator the paper adapted ([50] in §5.2.2) plus its "runtime profile
+   synthesizer". Programs are built from sections — straight pipelets or
+   conditional diamonds — with controllable pipelet count (PN) and length
+   (PL); profiles draw action/branch probabilities from the chosen
+   workload category. *)
+
+type category = Heavy_drop | Small_static | High_locality
+
+let key_fields =
+  [| P4ir.Field.Ipv4_src; P4ir.Field.Ipv4_dst; P4ir.Field.Tcp_sport;
+     P4ir.Field.Tcp_dport; P4ir.Field.Udp_sport; P4ir.Field.Udp_dport;
+     P4ir.Field.Eth_src; P4ir.Field.Eth_dst |]
+
+let fresh_name =
+  let counter = ref 0 in
+  fun prefix ->
+    incr counter;
+    Printf.sprintf "%s%d" prefix !counter
+
+(* One synthesized table. [complex] allows LPM/ternary keys; entries are
+   populated so the match-kind [m] is realistic (3 prefixes / 5 masks,
+   as the paper's benchmarks use). *)
+let table rng ~complex ~static =
+  let field = Stdx.Prng.choice rng key_fields in
+  let name = fresh_name "t" in
+  let n_actions = 2 + Stdx.Prng.int rng 2 in
+  let actions =
+    List.init n_actions (fun i ->
+        let n_prims = 1 + Stdx.Prng.int rng 3 in
+        P4ir.Action.make
+          (Printf.sprintf "a%d" i)
+          (List.init n_prims (fun j ->
+               P4ir.Action.Set_field (P4ir.Field.Meta (8 + ((i + j) mod 4)), Int64.of_int j))))
+  in
+  let kind =
+    if not complex then P4ir.Match_kind.Exact
+    else
+      match Stdx.Prng.int rng 4 with
+      | 0 -> P4ir.Match_kind.Lpm
+      | 1 -> P4ir.Match_kind.Ternary
+      | _ -> P4ir.Match_kind.Exact
+  in
+  let n_entries = if static then 2 + Stdx.Prng.int rng 3 else 4 + Stdx.Prng.int rng 28 in
+  let entries =
+    match kind with
+    | P4ir.Match_kind.Exact ->
+      List.init n_entries (fun i ->
+          P4ir.Table.entry
+            [ P4ir.Pattern.Exact (Int64.of_int (i + 1)) ]
+            (Printf.sprintf "a%d" (i mod n_actions)))
+    | P4ir.Match_kind.Lpm ->
+      List.init n_entries (fun i ->
+          let len = [| 8; 16; 24 |].(i mod 3) in
+          P4ir.Table.entry
+            [ P4ir.Pattern.Lpm
+                (Int64.shift_left (Int64.of_int (i + 1)) (32 - len), len) ]
+            (Printf.sprintf "a%d" (i mod n_actions)))
+    | P4ir.Match_kind.Ternary ->
+      List.init n_entries (fun i ->
+          let mask = [| 0xFFL; 0xFF00L; 0xFFFFL; 0xFF0000L; 0xFFFFFFL |].(i mod 5) in
+          P4ir.Table.entry ~priority:i
+            [ P4ir.Pattern.Ternary (Int64.logand (Int64.of_int ((i + 1) * 7)) mask, mask) ]
+            (Printf.sprintf "a%d" (i mod n_actions)))
+    | P4ir.Match_kind.Range -> []
+  in
+  let keys = [ P4ir.Table.key field kind ] in
+  P4ir.Table.make ~name ~keys ~actions ~default_action:"a0" ~entries
+    ~max_entries:(max 64 (2 * n_entries)) ()
+
+let acl rng =
+  let field = Stdx.Prng.choice rng key_fields in
+  let name = fresh_name "acl" in
+  let tab = P4ir.Builder.acl_table ~name ~keys:[ P4ir.Table.key field P4ir.Match_kind.Exact ] () in
+  List.fold_left
+    (fun tab i ->
+      P4ir.Table.add_entry tab
+        (P4ir.Table.entry [ P4ir.Pattern.Exact (Int64.of_int (100 + i)) ] "deny"))
+    tab
+    (List.init 4 Fun.id)
+
+type params = {
+  sections : int;  (** straight or diamond sections strung together *)
+  pipelet_len : int;  (** tables per pipelet *)
+  diamond_prob : float;  (** chance a section is a two-arm conditional *)
+  complex_tables : bool;
+  category : category option;
+}
+
+let default_params =
+  { sections = 4;
+    pipelet_len = 3;
+    diamond_prob = 0.4;
+    complex_tables = true;
+    category = None }
+
+let pipelet_tables rng params =
+  List.init params.pipelet_len (fun i ->
+      let static = params.category = Some Small_static in
+      if params.category = Some Heavy_drop && i = params.pipelet_len - 1 then acl rng
+      else table rng ~complex:params.complex_tables ~static)
+
+(* Build back-to-front: each section is given the id of the next one. *)
+let program ?(params = default_params) rng =
+  let prog = P4ir.Program.empty (fresh_name "synth") in
+  let rec build prog next sections =
+    if sections = 0 then (prog, next)
+    else
+      let diamond = Stdx.Prng.bool rng params.diamond_prob in
+      if diamond then begin
+        let prog, arm1 = P4ir.Builder.chain_into prog (pipelet_tables rng params) ~exit:next in
+        let prog, arm2 = P4ir.Builder.chain_into prog (pipelet_tables rng params) ~exit:next in
+        let prog, c =
+          P4ir.Program.add_node prog
+            (P4ir.Builder.cond ~name:(fresh_name "c") ~field:P4ir.Field.Ipv4_proto
+               ~op:P4ir.Program.Eq
+               ~arg:(Int64.of_int (Stdx.Prng.int rng 256))
+               ~on_true:(Some arm1) ~on_false:(Some arm2))
+        in
+        build prog (Some c) (sections - 1)
+      end
+      else begin
+        (* Straight sections are guarded by a conditional (e.g. a header
+           validity check), as real P4 stages are — this also keeps
+           pipelet lengths at [pipelet_len] instead of coalescing
+           consecutive sections into one long run. *)
+        let prog, entry = P4ir.Builder.chain_into prog (pipelet_tables rng params) ~exit:next in
+        let prog, c =
+          P4ir.Program.add_node prog
+            (P4ir.Builder.cond ~name:(fresh_name "g") ~field:P4ir.Field.Eth_type
+               ~op:P4ir.Program.Eq ~arg:0x0800L ~on_true:(Some entry) ~on_false:next)
+        in
+        build prog (Some c) (sections - 1)
+      end
+  in
+  let prog, root = build prog None params.sections in
+  let prog = P4ir.Program.with_root prog root in
+  P4ir.Program.validate_exn prog;
+  prog
+
+(* --- profile synthesis --- *)
+
+let dirichlet rng n =
+  let raw = List.init n (fun _ -> Stdx.Prng.exponential rng 1.0) in
+  Stdx.Stats.normalize raw
+
+let profile ?category ?(drop_bias = 0.5) ?(skew = 1.0) rng prog =
+  let prof = ref (Profile.uniform prog) in
+  List.iter
+    (fun (_, (tab : P4ir.Table.t)) ->
+      let n = List.length tab.actions in
+      let probs = dirichlet rng n in
+      (* Skew concentrates mass on the first action. *)
+      let probs =
+        if skew > 1.0 then
+          Stdx.Stats.normalize (List.mapi (fun i p -> if i = 0 then p *. skew else p) probs)
+        else probs
+      in
+      let action_probs = List.map2 (fun (a : P4ir.Action.t) p -> (a.name, p)) tab.actions probs in
+      let action_probs =
+        (* Under Heavy_drop, deny actions absorb a large share. *)
+        if
+          category = Some Heavy_drop
+          && List.exists (fun (a : P4ir.Action.t) -> String.equal a.name "deny") tab.actions
+        then begin
+          let deny_share = drop_bias *. (0.5 +. (0.5 *. Stdx.Prng.float rng)) in
+          let others = List.filter (fun (name, _) -> not (String.equal name "deny")) action_probs in
+          let other_total = Float.max 1e-9 (List.fold_left (fun acc (_, p) -> acc +. p) 0. others) in
+          ("deny", deny_share)
+          :: List.map (fun (name, p) -> (name, p /. other_total *. (1. -. deny_share))) others
+        end
+        else action_probs
+      in
+      let update_rate =
+        match category with
+        | Some Small_static -> 0.
+        | Some High_locality -> Stdx.Prng.uniform rng 0. 1.5
+        | _ -> Stdx.Prng.uniform rng 0. 20.
+      in
+      let locality =
+        match category with
+        | Some High_locality -> Stdx.Prng.uniform rng 0.9 0.99
+        | _ -> Stdx.Prng.uniform rng 0.3 0.9
+      in
+      prof := Profile.set_table tab.name { Profile.action_probs; update_rate; locality } !prof)
+    (P4ir.Program.tables prog);
+  List.iter
+    (fun (_, (c : P4ir.Program.cond)) ->
+      prof := Profile.set_cond c.cond_name { Profile.true_prob = Stdx.Prng.float rng } !prof)
+    (P4ir.Program.conds prog);
+  !prof
+
+(* Entropy of the pipelet traffic distribution under a profile (App. A.3). *)
+let pipelet_entropy prof prog =
+  let pipelets = Pipeleon.Pipelet.form prog in
+  let reach = Costmodel.Cost.reach_probs prof prog in
+  let probs =
+    List.map
+      (fun (p : Pipeleon.Pipelet.t) ->
+        try List.assoc p.entry reach with Not_found -> 0.)
+      pipelets
+  in
+  Stdx.Stats.entropy probs
+
+let pipelet_distribution prof prog =
+  let pipelets = Pipeleon.Pipelet.form prog in
+  let reach = Costmodel.Cost.reach_probs prof prog in
+  List.map
+    (fun (p : Pipeleon.Pipelet.t) ->
+      (p.entry, try List.assoc p.entry reach with Not_found -> 0.))
+    pipelets

@@ -1,0 +1,1 @@
+lib/nicsim/engine.ml: Buffer Float Hashtbl Int64 List Lru P4ir Packet Printf

@@ -1,0 +1,1 @@
+lib/nicsim/engine.mli: P4ir Packet

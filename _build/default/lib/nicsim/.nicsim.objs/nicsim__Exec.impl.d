@@ -1,0 +1,1 @@
+lib/nicsim/exec.ml: Costmodel Engine Hashtbl Int64 List Option P4ir Packet Profile

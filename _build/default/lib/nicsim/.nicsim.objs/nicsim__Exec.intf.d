@@ -1,0 +1,1 @@
+lib/nicsim/exec.mli: Costmodel Engine P4ir Packet Profile

@@ -1,0 +1,1 @@
+lib/nicsim/lru.mli:

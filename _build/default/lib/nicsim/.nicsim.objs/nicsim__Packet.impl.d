@@ -1,0 +1,1 @@
+lib/nicsim/packet.ml: Array Buffer Format Int64 List P4ir

@@ -1,0 +1,1 @@
+lib/nicsim/packet.mli: Format P4ir

@@ -1,0 +1,1 @@
+lib/nicsim/sim.ml: Array Costmodel Engine Exec Float Int64 List P4ir Packet Profile

@@ -1,0 +1,1 @@
+lib/nicsim/sim.mli: Costmodel Exec P4ir Packet Profile

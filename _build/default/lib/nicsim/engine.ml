@@ -1,0 +1,328 @@
+(* Per-key "shape": which bits of the field participate in the hash.
+   Entries sharing a shape live in the same hash table; the number of
+   distinct shapes is the paper's [m]. *)
+type shape_elem =
+  | S_exact
+  | S_prefix of int  (* LPM prefix length *)
+  | S_mask of int64  (* ternary mask *)
+
+type group = {
+  shape : shape_elem list;
+  total_prefix : int;  (* for LPM ordering: longer prefixes probed first *)
+  max_priority : int;
+  tbl : (string, P4ir.Table.entry) Hashtbl.t;
+}
+
+type backend =
+  | Exact_hash of (string, P4ir.Table.entry) Hashtbl.t
+  | Exact_lru of P4ir.Table.entry Lru.t
+  | Shaped of { mutable groups : group list; lpm_ordered : bool }
+  | Linear of P4ir.Table.entry list ref
+
+type t = {
+  table : P4ir.Table.t;
+  backend : backend;
+  mutable updates : int;
+  mutable tokens : float;  (* cache-fill token bucket *)
+  mutable token_time : float;
+}
+
+let def t = t.table
+
+let key_fields (tab : P4ir.Table.t) = List.map (fun (k : P4ir.Table.key) -> k.field) tab.keys
+
+let all_exact (tab : P4ir.Table.t) =
+  List.for_all
+    (fun (k : P4ir.Table.key) -> P4ir.Match_kind.equal k.kind P4ir.Match_kind.Exact)
+    tab.keys
+
+let has_range (tab : P4ir.Table.t) =
+  List.exists
+    (fun (k : P4ir.Table.key) -> P4ir.Match_kind.equal k.kind P4ir.Match_kind.Range)
+    tab.keys
+
+let exact_key_of_entry (e : P4ir.Table.entry) =
+  let buf = Buffer.create 32 in
+  List.iter
+    (fun p ->
+      match p with
+      | P4ir.Pattern.Exact v ->
+        Buffer.add_int64_le buf v;
+        Buffer.add_char buf '|'
+      | _ -> invalid_arg "Engine: non-exact pattern in exact table")
+    e.patterns;
+  Buffer.contents buf
+
+let shape_of_pattern (k : P4ir.Table.key) (p : P4ir.Pattern.t) =
+  match p with
+  | P4ir.Pattern.Exact _ -> S_exact
+  | P4ir.Pattern.Lpm (_, len) -> S_prefix len
+  | P4ir.Pattern.Ternary (_, mask) -> S_mask mask
+  | P4ir.Pattern.Range _ ->
+    invalid_arg
+      (Printf.sprintf "Engine: range pattern on %s needs the linear backend"
+         (P4ir.Field.to_string k.field))
+
+let mask_of_shape (k : P4ir.Table.key) = function
+  | S_exact -> P4ir.Value.truncate ~width:(P4ir.Field.width k.field) Int64.minus_one
+  | S_prefix len -> P4ir.Value.prefix_mask ~width:(P4ir.Field.width k.field) ~prefix_len:len
+  | S_mask m -> m
+
+let masked_key (tab : P4ir.Table.t) shape values =
+  let buf = Buffer.create 32 in
+  List.iter2
+    (fun (k, s) v ->
+      Buffer.add_int64_le buf (Int64.logand v (mask_of_shape k s));
+      Buffer.add_char buf '|')
+    (List.combine tab.keys shape)
+    values;
+  Buffer.contents buf
+
+let entry_values (e : P4ir.Table.entry) =
+  List.map
+    (fun (p : P4ir.Pattern.t) ->
+      match p with
+      | P4ir.Pattern.Exact v | P4ir.Pattern.Lpm (v, _) | P4ir.Pattern.Ternary (v, _) -> v
+      | P4ir.Pattern.Range (lo, _) -> lo)
+    e.patterns
+
+let shape_of_entry (tab : P4ir.Table.t) (e : P4ir.Table.entry) =
+  List.map2 shape_of_pattern tab.keys e.patterns
+
+let total_prefix_of_shape shape =
+  List.fold_left
+    (fun acc s ->
+      acc + match s with S_exact -> 64 | S_prefix len -> len | S_mask _ -> 0)
+    0 shape
+
+let sort_groups lpm_ordered groups =
+  if lpm_ordered then
+    List.sort (fun a b -> compare b.total_prefix a.total_prefix) groups
+  else groups
+
+let shaped_insert st ~lpm_ordered (tab : P4ir.Table.t) (e : P4ir.Table.entry) =
+  let shape = shape_of_entry tab e in
+  let key = masked_key tab shape (entry_values e) in
+  match List.find_opt (fun g -> g.shape = shape) st with
+  | Some g ->
+    Hashtbl.replace g.tbl key e;
+    sort_groups lpm_ordered
+      (List.map
+         (fun g' ->
+           if g'.shape = shape then { g' with max_priority = max g'.max_priority e.priority }
+           else g')
+         st)
+  | None ->
+    let tbl = Hashtbl.create 64 in
+    Hashtbl.replace tbl key e;
+    sort_groups lpm_ordered
+      ({ shape; total_prefix = total_prefix_of_shape shape; max_priority = e.priority; tbl }
+       :: st)
+
+let create (tab : P4ir.Table.t) =
+  let backend =
+    match tab.role with
+    | P4ir.Table.Cache meta when all_exact tab ->
+      let lru = Lru.create ~capacity:(max 1 meta.capacity) in
+      List.iter (fun e -> ignore (Lru.put lru (exact_key_of_entry e) e)) tab.entries;
+      Exact_lru lru
+    | _ when has_range tab -> Linear (ref tab.entries)
+    | _ when all_exact tab ->
+      let h = Hashtbl.create (max 64 (List.length tab.entries)) in
+      List.iter (fun e -> Hashtbl.replace h (exact_key_of_entry e) e) tab.entries;
+      Exact_hash h
+    | _ ->
+      let lpm_ordered =
+        P4ir.Match_kind.equal (P4ir.Table.effective_kind tab) P4ir.Match_kind.Lpm
+      in
+      let groups =
+        List.fold_left (fun st e -> shaped_insert st ~lpm_ordered tab e) [] tab.entries
+      in
+      Shaped { groups; lpm_ordered }
+  in
+  (* Cache fill buckets start full: a freshly deployed cache may warm at
+     up to one second's insertion allowance immediately. *)
+  let tokens =
+    match tab.role with P4ir.Table.Cache meta -> meta.insert_limit | _ -> 0.
+  in
+  { table = tab; backend; updates = 0; tokens; token_time = 0. }
+
+let packet_values t pkt = List.map (Packet.get pkt) (key_fields t.table)
+
+let exact_key_of_values values =
+  let buf = Buffer.create 32 in
+  List.iter
+    (fun v ->
+      Buffer.add_int64_le buf v;
+      Buffer.add_char buf '|')
+    values;
+  Buffer.contents buf
+
+let linear_lookup t entries pkt =
+  let read f = Packet.get pkt f in
+  let tab = { t.table with P4ir.Table.entries } in
+  (P4ir.Table.lookup tab read, max 1 (List.length entries))
+
+let lookup t pkt =
+  match t.backend with
+  | Exact_hash h ->
+    let key = exact_key_of_values (packet_values t pkt) in
+    (Hashtbl.find_opt h key, 1)
+  | Exact_lru lru ->
+    let key = exact_key_of_values (packet_values t pkt) in
+    (Lru.find lru key, 1)
+  | Linear entries -> linear_lookup t !entries pkt
+  | Shaped { groups; lpm_ordered } ->
+    let values = packet_values t pkt in
+    if lpm_ordered then
+      (* Longest-prefix groups first; the first hit is the answer. *)
+      let rec probe accesses = function
+        | [] -> (None, max 1 accesses)
+        | g :: rest -> (
+          let key = masked_key t.table g.shape values in
+          match Hashtbl.find_opt g.tbl key with
+          | Some e -> (Some e, accesses + 1)
+          | None -> probe (accesses + 1) rest)
+      in
+      probe 0 groups
+    else begin
+      (* Ternary: every mask group must be probed; highest priority wins. *)
+      let best = ref None in
+      let accesses = ref 0 in
+      List.iter
+        (fun g ->
+          incr accesses;
+          let key = masked_key t.table g.shape values in
+          match Hashtbl.find_opt g.tbl key with
+          | Some e -> (
+            match !best with
+            | Some (b : P4ir.Table.entry) when b.priority >= e.priority -> ()
+            | _ -> best := Some e)
+          | None -> ())
+        groups;
+      (!best, max 1 !accesses)
+    end
+
+let raw_insert t (e : P4ir.Table.entry) =
+  match t.backend with
+  | Exact_hash h -> Hashtbl.replace h (exact_key_of_entry e) e
+  | Exact_lru lru -> ignore (Lru.put lru (exact_key_of_entry e) e)
+  | Linear entries -> entries := !entries @ [ e ]
+  | Shaped s -> s.groups <- shaped_insert s.groups ~lpm_ordered:s.lpm_ordered t.table e
+
+let validate_entry t e =
+  (* Reuse Table.make's validation by round-tripping through add_entry. *)
+  ignore (P4ir.Table.add_entry { t.table with P4ir.Table.entries = [] } e)
+
+let insert t e =
+  validate_entry t e;
+  raw_insert t e;
+  t.updates <- t.updates + 1
+
+let delete t ~patterns =
+  let matches (e : P4ir.Table.entry) = List.for_all2 P4ir.Pattern.equal e.patterns patterns in
+  let removed = ref false in
+  (match t.backend with
+   | Exact_hash h ->
+     let key = exact_key_of_values (List.map (function
+       | P4ir.Pattern.Exact v -> v
+       | _ -> invalid_arg "Engine.delete: non-exact pattern for exact table") patterns)
+     in
+     if Hashtbl.mem h key then begin
+       Hashtbl.remove h key;
+       removed := true
+     end
+   | Exact_lru lru ->
+     let key = exact_key_of_values (List.map (function
+       | P4ir.Pattern.Exact v -> v
+       | _ -> invalid_arg "Engine.delete: non-exact pattern for exact table") patterns)
+     in
+     if Lru.mem lru key then begin
+       Lru.remove lru key;
+       removed := true
+     end
+   | Linear entries ->
+     let before = List.length !entries in
+     entries := List.filter (fun e -> not (matches e)) !entries;
+     removed := List.length !entries < before
+   | Shaped s ->
+     List.iter
+       (fun g ->
+         let victims =
+           Hashtbl.fold (fun k e acc -> if matches e then k :: acc else acc) g.tbl []
+         in
+         List.iter
+           (fun k ->
+             Hashtbl.remove g.tbl k;
+             removed := true)
+           victims)
+       s.groups);
+  if !removed then t.updates <- t.updates + 1;
+  !removed
+
+let load_entries t new_entries =
+  List.iter (validate_entry t) new_entries;
+  match t.backend with
+  | Exact_hash h ->
+    Hashtbl.reset h;
+    List.iter (fun e -> Hashtbl.replace h (exact_key_of_entry e) e) new_entries
+  | Exact_lru lru ->
+    Lru.clear lru;
+    List.iter (fun e -> ignore (Lru.put lru (exact_key_of_entry e) e)) new_entries
+  | Linear entries -> entries := new_entries
+  | Shaped s ->
+    s.groups <- [];
+    List.iter
+      (fun e -> s.groups <- shaped_insert s.groups ~lpm_ordered:s.lpm_ordered t.table e)
+      new_entries
+
+let replace_all t new_entries =
+  load_entries t new_entries;
+  t.updates <- t.updates + List.length new_entries
+
+let entries t =
+  match t.backend with
+  | Exact_hash h -> Hashtbl.fold (fun _ e acc -> e :: acc) h []
+  | Exact_lru lru ->
+    let acc = ref [] in
+    Lru.iter (fun _ e -> acc := e :: !acc) lru;
+    !acc
+  | Linear entries -> !entries
+  | Shaped s ->
+    List.concat_map (fun g -> Hashtbl.fold (fun _ e acc -> e :: acc) g.tbl []) s.groups
+
+let num_entries t = List.length (entries t)
+
+let update_count t = t.updates
+
+let take_update_count t =
+  let n = t.updates in
+  t.updates <- 0;
+  n
+
+let cache_fill t ~now e =
+  match (t.table.role, t.backend) with
+  | P4ir.Table.Cache meta, Exact_lru lru ->
+    (* Token bucket: [insert_limit] tokens/sec, burst of one second. *)
+    let limit = meta.insert_limit in
+    if limit > 0. then begin
+      let elapsed = Float.max 0. (now -. t.token_time) in
+      t.tokens <- Float.min limit (t.tokens +. (elapsed *. limit));
+      t.token_time <- now
+    end
+    else t.tokens <- 1.;
+    if limit > 0. && t.tokens < 1. then `Rate_limited
+    else begin
+      if limit > 0. then t.tokens <- t.tokens -. 1.;
+      match Lru.put lru (exact_key_of_entry e) e with
+      | Some _ -> `Full_replace
+      | None -> `Inserted
+    end
+  | _ -> invalid_arg "Engine.cache_fill: not a cache table"
+
+let invalidate t =
+  match t.backend with
+  | Exact_lru lru -> Lru.clear lru
+  | Exact_hash h -> Hashtbl.reset h
+  | Linear entries -> entries := []
+  | Shaped s -> s.groups <- []

@@ -1,0 +1,55 @@
+(** Runtime state of one match/action table inside the simulator.
+
+    Exact tables are hash tables (one memory access per lookup); LPM and
+    ternary tables are implemented as one hash table per distinct prefix
+    length / mask — exactly the implementation the paper's cost model
+    assumes (§3.1: "LPM and ternary match are usually implemented using
+    multiple hash tables"). Lookups report how many memory accesses they
+    performed so the executor can charge latency. Cache-role tables use
+    an LRU store with a token-bucket insertion limit (§3.2.2). *)
+
+type t
+
+val create : P4ir.Table.t -> t
+(** Engine initialized with the table's static entries. *)
+
+val def : t -> P4ir.Table.t
+(** The table definition this engine was built from. *)
+
+val lookup : t -> Packet.t -> P4ir.Table.entry option * int
+(** Match result plus the number of memory accesses performed. A miss in
+    a shaped table costs one access per probed hash table. *)
+
+val insert : t -> P4ir.Table.entry -> unit
+(** Control-plane insert; bumps the update counter.
+    @raise Invalid_argument if the entry does not fit the table. *)
+
+val delete : t -> patterns:P4ir.Pattern.t list -> bool
+(** Control-plane delete by exact pattern list; true if something was
+    removed. Bumps the update counter. *)
+
+val replace_all : t -> P4ir.Table.entry list -> unit
+(** Control-plane bulk replace; counts as one update per entry. *)
+
+val load_entries : t -> P4ir.Table.entry list -> unit
+(** Like {!replace_all} but silent: used when state is carried over a
+    live reconfiguration, which is not control-plane update traffic. *)
+
+val entries : t -> P4ir.Table.entry list
+val num_entries : t -> int
+
+val update_count : t -> int
+(** Control-plane updates since the last {!take_update_count}. *)
+
+val take_update_count : t -> int
+(** Read and reset the update counter (one profiling window). *)
+
+val cache_fill :
+  t -> now:float -> P4ir.Table.entry -> [ `Inserted | `Rate_limited | `Full_replace ]
+(** Data-plane cache fill (only meaningful for cache-role tables): subject
+    to the [insert_limit] token bucket; LRU eviction on overflow
+    ([`Full_replace] reports that an eviction happened).
+    @raise Invalid_argument on a non-cache table. *)
+
+val invalidate : t -> unit
+(** Drop all dynamic entries of a cache (entry-update invalidation). *)

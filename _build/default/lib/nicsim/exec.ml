@@ -1,0 +1,233 @@
+type config = {
+  target : Costmodel.Target.t;
+  instrumented : bool;
+  sample_rate : int;
+  placement : P4ir.Program.node_id -> Costmodel.Cost.core;
+}
+
+let default_config target =
+  { target; instrumented = true; sample_rate = 1; placement = Costmodel.Cost.all_asic }
+
+(* A flow-cache fill in flight: the packet missed [cache] and is now
+   traversing the covered original tables; we record which action each
+   fired and install the fused result at the end (§3.2.2). *)
+type pending_fill = {
+  cache : Engine.t;
+  key_patterns : P4ir.Pattern.t list;
+  covered : string list;
+  mutable fired : (string * string) list;  (* table name -> action name *)
+  mutable ended_early : bool;  (* a drop cut the covered region short *)
+}
+
+type t = {
+  cfg : config;
+  mutable prog : P4ir.Program.t;
+  engines : (string, Engine.t) Hashtbl.t;
+  node_engine : (int, Engine.t) Hashtbl.t;
+  ctrs : Profile.Counter.t;
+  mutable seen : int;
+  mutable drops : int;
+}
+
+let create cfg prog =
+  let engines = Hashtbl.create 32 in
+  let node_engine = Hashtbl.create 32 in
+  List.iter
+    (fun (id, (tab : P4ir.Table.t)) ->
+      let e = Engine.create tab in
+      Hashtbl.replace engines tab.name e;
+      Hashtbl.replace node_engine id e)
+    (P4ir.Program.tables prog);
+  { cfg; prog; engines; node_engine; ctrs = Profile.Counter.create (); seen = 0; drops = 0 }
+
+let program t = t.prog
+let config t = t.cfg
+let counters t = t.ctrs
+let engine t name = Hashtbl.find_opt t.engines name
+
+let engine_exn t name =
+  match engine t name with
+  | Some e -> e
+  | None -> invalid_arg ("Exec.engine_exn: no table " ^ name)
+
+let packets_seen t = t.seen
+let drops_seen t = t.drops
+
+let reset_counters t = Profile.Counter.clear t.ctrs
+
+let core_factor (target : Costmodel.Target.t) = function
+  | Costmodel.Cost.Asic -> 1.0
+  | Costmodel.Cost.Cpu -> target.cpu_slowdown
+
+let apply_primitive pkt (p : P4ir.Action.primitive) =
+  match p with
+  | P4ir.Action.Set_field (f, v) -> Packet.set pkt f v
+  | P4ir.Action.Set_from (dst, src) -> Packet.set pkt dst (Packet.get pkt src)
+  | P4ir.Action.Add_const (f, v) -> Packet.set pkt f (Int64.add (Packet.get pkt f) v)
+  | P4ir.Action.Dec_ttl ->
+    let ttl = Packet.get pkt P4ir.Field.Ipv4_ttl in
+    if Int64.compare ttl 0L > 0 then Packet.set pkt P4ir.Field.Ipv4_ttl (Int64.sub ttl 1L)
+  | P4ir.Action.Forward port -> Packet.set_egress pkt port
+  | P4ir.Action.Drop -> Packet.mark_dropped pkt
+  | P4ir.Action.Nop -> ()
+
+let apply_action pkt (a : P4ir.Action.t) = List.iter (apply_primitive pkt) a.prims
+
+let cache_key_patterns (tab : P4ir.Table.t) pkt =
+  List.map
+    (fun (k : P4ir.Table.key) -> P4ir.Pattern.Exact (Packet.get pkt k.field))
+    tab.keys
+
+let try_complete_fill ~now fill =
+  (* Install whatever the packet actually executed through the covered
+     region: the full sequence, a drop-truncated prefix, or (for group
+     caches) the one branch arm it took. *)
+  if fill.fired <> [] then begin
+    let cache_def = Engine.def fill.cache in
+    let fired_in_order =
+      List.filter_map
+        (fun tname ->
+          Option.map (fun a -> (tname, a)) (List.assoc_opt tname fill.fired))
+        fill.covered
+    in
+    let fused = Profile.Counter_map.fuse fired_in_order in
+    match P4ir.Table.find_action cache_def fused with
+    | Some _ ->
+      let entry = P4ir.Table.entry fill.key_patterns fused in
+      ignore (Engine.cache_fill fill.cache ~now entry)
+    | None -> ()  (* behaviour combination not representable; skip *)
+  end
+
+let run_packet t ~now pkt =
+  t.seen <- t.seen + 1;
+  let target = t.cfg.target in
+  let sampled = t.cfg.instrumented && t.seen mod t.cfg.sample_rate = 0 in
+  let bump owner label latency =
+    if sampled then begin
+      Profile.Counter.incr t.ctrs ~owner ~label;
+      latency +. target.counter_update_cost
+    end
+    else latency
+  in
+  let latency = ref target.l_fixed in
+  let fills : pending_fill list ref = ref [] in
+  let entry_core =
+    match P4ir.Program.root t.prog with Some r -> t.cfg.placement r | None -> Costmodel.Cost.Asic
+  in
+  if entry_core = Costmodel.Cost.Cpu then latency := !latency +. target.migration_latency;
+  let rec step current prev_core =
+    match current with
+    | None ->
+      if prev_core = Costmodel.Cost.Cpu then
+        latency := !latency +. target.migration_latency
+    | Some id ->
+      let core = t.cfg.placement id in
+      if core <> prev_core then latency := !latency +. target.migration_latency;
+      let factor = core_factor target core in
+      (match P4ir.Program.find_exn t.prog id with
+       | P4ir.Program.Cond c ->
+         latency := !latency +. (target.l_cond *. factor);
+         let taken = P4ir.Program.eval_cond c (Packet.get pkt c.field) in
+         let outcome = if taken then "true" else "false" in
+         latency := bump c.cond_name outcome !latency;
+         (* Group caches cover branch nodes too: record the outcome so
+            the fill's fused action name identifies the arm taken. *)
+         List.iter
+           (fun fill ->
+             if List.mem c.cond_name fill.covered
+                && not (List.mem_assoc c.cond_name fill.fired) then
+               fill.fired <- fill.fired @ [ (c.cond_name, outcome) ])
+           !fills;
+         step (if taken then c.on_true else c.on_false) core
+       | P4ir.Program.Table (tab, nxt) ->
+         let eng = Hashtbl.find t.node_engine id in
+         let result, accesses = Engine.lookup eng pkt in
+         latency := !latency +. (float_of_int accesses *. target.l_mat *. factor);
+         let action_name =
+           match result with Some e -> e.P4ir.Table.action | None -> tab.default_action
+         in
+         let action = P4ir.Table.find_action_exn tab action_name in
+         (* Register a pending flow-cache fill on auto-insert cache miss,
+            keyed on the packet's current field values. *)
+         (match (tab.role, result) with
+          | P4ir.Table.Cache meta, None when meta.auto_insert ->
+            fills :=
+              { cache = eng;
+                key_patterns = cache_key_patterns tab pkt;
+                covered = meta.cached_tables;
+                fired = [];
+                ended_early = false }
+              :: !fills
+          | _ -> ());
+         (* Record this table's fired action for fills covering it. *)
+         (match tab.role with
+          | P4ir.Table.Regular | P4ir.Table.Merged _ ->
+            List.iter
+              (fun fill ->
+                if List.mem tab.name fill.covered
+                   && not (List.mem_assoc tab.name fill.fired) then
+                  fill.fired <- fill.fired @ [ (tab.name, action_name) ])
+              !fills
+          | _ -> ());
+         apply_action pkt action;
+         latency :=
+           !latency
+           +. (float_of_int (P4ir.Action.num_primitives action) *. target.l_act *. factor);
+         latency := bump tab.name action_name !latency;
+         if Packet.is_dropped pkt then begin
+           (* Run-to-completion halt: the core fetches the next packet. *)
+           List.iter (fun f -> f.ended_early <- true) !fills;
+           t.drops <- t.drops + 1
+         end
+         else begin
+           let next =
+             match nxt with
+             | P4ir.Program.Uniform n -> n
+             | P4ir.Program.Per_action branches -> (
+               match List.assoc_opt action_name branches with
+               | Some n -> n
+               | None -> None)
+           in
+           step next core
+         end)
+  in
+  step (P4ir.Program.root t.prog) entry_core;
+  List.iter (try_complete_fill ~now) !fills;
+  !latency
+
+let replace_program t prog =
+  let changed = ref 0 in
+  let new_engines = Hashtbl.create 32 in
+  Hashtbl.reset t.node_engine;
+  List.iter
+    (fun (id, (tab : P4ir.Table.t)) ->
+      let reusable =
+        match Hashtbl.find_opt t.engines tab.name with
+        | Some eng ->
+          let old_def = Engine.def eng in
+          if old_def.P4ir.Table.keys = tab.keys && old_def.actions = tab.actions
+             && old_def.role = tab.role
+          then Some eng
+          else None
+        | None -> None
+      in
+      let eng =
+        match reusable with
+        | Some eng -> eng
+        | None ->
+          incr changed;
+          Engine.create tab
+      in
+      Hashtbl.replace new_engines tab.name eng;
+      Hashtbl.replace t.node_engine id eng)
+    (P4ir.Program.tables prog);
+  Hashtbl.reset t.engines;
+  Hashtbl.iter (Hashtbl.replace t.engines) new_engines;
+  t.prog <- prog;
+  !changed
+
+let sync_entries_to_ir t =
+  P4ir.Program.map_tables t.prog (fun _ tab ->
+      match Hashtbl.find_opt t.engines tab.P4ir.Table.name with
+      | Some eng -> { tab with P4ir.Table.entries = Engine.entries eng }
+      | None -> tab)

@@ -1,0 +1,51 @@
+(** Run-to-completion executor: one packet walks the program DAG on one
+    core, accumulating latency per the target's cost parameters.
+
+    The executor owns the runtime table engines, the instrumentation
+    counters, flow-cache fills, and the heterogeneous placement logic
+    (migration latency when execution crosses ASIC/CPU boundaries,
+    §3.2.4). It is deliberately independent of traffic generation and of
+    the multicore throughput model ({!Sim}). *)
+
+type config = {
+  target : Costmodel.Target.t;
+  instrumented : bool;  (** profile counters attached (§4.1.2) *)
+  sample_rate : int;  (** update counters for 1 in [sample_rate] packets *)
+  placement : P4ir.Program.node_id -> Costmodel.Cost.core;
+}
+
+val default_config : Costmodel.Target.t -> config
+(** Instrumented, sample every packet, everything on ASIC cores. *)
+
+type t
+
+val create : config -> P4ir.Program.t -> t
+val program : t -> P4ir.Program.t
+val config : t -> config
+val counters : t -> Profile.Counter.t
+
+val engine : t -> string -> Engine.t option
+(** Runtime engine of the named table. *)
+
+val engine_exn : t -> string -> Engine.t
+
+val run_packet : t -> now:float -> Packet.t -> float
+(** Process one packet; returns the latency in target latency-units
+    (including the fixed per-packet overhead and any migrations). The
+    packet is mutated (header rewrites, drop flag, egress). *)
+
+val packets_seen : t -> int
+val drops_seen : t -> int
+
+val sync_entries_to_ir : t -> P4ir.Program.t
+(** The program with each table's [entries] replaced by the engine's
+    current dynamic contents — what the optimizer should look at. *)
+
+val replace_program : t -> P4ir.Program.t -> int
+(** Hot-patch to a new program in place: engines of tables whose name,
+    keys, and actions are unchanged are kept (dynamic entries and all),
+    counters are preserved, and only new or reshaped tables get fresh
+    engines. Returns the number of tables that needed (re)creation — the
+    units of work an incremental reconfiguration pays for (§6). *)
+
+val reset_counters : t -> unit

@@ -1,0 +1,110 @@
+type t = {
+  tgt : Costmodel.Target.t;
+  mutable ex : Exec.t;
+  mutable clock : float;
+  mutable counter_baseline : Profile.Counter.t;
+  mutable last_profile_time : float;
+}
+
+let create ?config tgt prog =
+  let cfg = match config with Some c -> c | None -> Exec.default_config tgt in
+  { tgt;
+    ex = Exec.create cfg prog;
+    clock = 0.;
+    counter_baseline = Profile.Counter.create ();
+    last_profile_time = 0. }
+
+let exec t = t.ex
+let target t = t.tgt
+let now t = t.clock
+let advance t dt = t.clock <- t.clock +. Float.max 0. dt
+
+type window_stats = {
+  window_start : float;
+  window_duration : float;
+  sampled_packets : int;
+  sampled_drops : int;
+  avg_latency : float;
+  p99_latency : float;
+  throughput_gbps : float;
+  drop_fraction : float;
+}
+
+let run_window t ~duration ~packets ~source =
+  if packets <= 0 then invalid_arg "Sim.run_window: packets must be positive";
+  let start = t.clock in
+  let latencies = Array.make packets 0. in
+  let drops = ref 0 in
+  for i = 0 to packets - 1 do
+    let pkt_time = start +. (duration *. float_of_int i /. float_of_int packets) in
+    let pkt = source () in
+    latencies.(i) <- Exec.run_packet t.ex ~now:pkt_time pkt;
+    if Packet.is_dropped pkt then incr drops
+  done;
+  t.clock <- start +. duration;
+  let sum = Array.fold_left ( +. ) 0. latencies in
+  let avg = sum /. float_of_int packets in
+  Array.sort compare latencies;
+  let p99 = latencies.(min (packets - 1) (packets * 99 / 100)) in
+  { window_start = start;
+    window_duration = duration;
+    sampled_packets = packets;
+    sampled_drops = !drops;
+    avg_latency = avg;
+    p99_latency = p99;
+    throughput_gbps = Costmodel.Target.throughput_gbps t.tgt ~latency:avg;
+    drop_fraction = float_of_int !drops /. float_of_int packets }
+
+let insert t ~table entry = Engine.insert (Exec.engine_exn t.ex table) entry
+
+let delete t ~table ~patterns = Engine.delete (Exec.engine_exn t.ex table) ~patterns
+
+let reconfigure ?config ?(downtime = 0.) t prog =
+  let cfg = match config with Some c -> c | None -> Exec.config t.ex in
+  let old_ex = t.ex in
+  let fresh = Exec.create cfg prog in
+  (* Live reconfiguration keeps the dynamic state of surviving tables;
+     caches restart cold. *)
+  List.iter
+    (fun (_, (tab : P4ir.Table.t)) ->
+      match tab.role with
+      | P4ir.Table.Cache _ -> ()
+      | _ -> (
+        match Exec.engine old_ex tab.name with
+        | Some old_engine ->
+          Engine.load_entries (Exec.engine_exn fresh tab.name) (Engine.entries old_engine)
+        | None -> ()))
+    (P4ir.Program.tables prog);
+  t.ex <- fresh;
+  t.counter_baseline <- Profile.Counter.create ();
+  advance t downtime
+
+let hot_patch ?(downtime_per_table = 0.02) t prog =
+  let changed = Exec.replace_program t.ex prog in
+  advance t (downtime_per_table *. float_of_int changed);
+  changed
+
+let current_profile ?window t =
+  let elapsed =
+    match window with
+    | Some w -> w
+    | None -> Float.max 1e-9 (t.clock -. t.last_profile_time)
+  in
+  t.last_profile_time <- t.clock;
+  let current = Exec.counters t.ex in
+  let delta = Profile.Counter.diff ~current ~baseline:t.counter_baseline in
+  t.counter_baseline <- Profile.Counter.snapshot current;
+  (* Record control-plane update rates as ["update"]-labelled counts so
+     Profile.of_counters picks them up. *)
+  let prog = Exec.program t.ex in
+  List.iter
+    (fun (_, (tab : P4ir.Table.t)) ->
+      match Exec.engine t.ex tab.name with
+      | Some eng ->
+        let updates = Engine.take_update_count eng in
+        if updates > 0 then
+          Profile.Counter.incr ~by:(Int64.of_int updates) delta ~owner:tab.name
+            ~label:"update"
+      | None -> ())
+    (P4ir.Program.tables prog);
+  Profile.of_counters ~window:elapsed prog delta

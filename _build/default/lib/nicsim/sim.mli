@@ -1,0 +1,66 @@
+(** Multicore SmartNIC simulation: emulated clock, throughput model, and
+    live reconfiguration.
+
+    Wall-clock scale does not permit simulating every wire packet at 100
+    Gbps; each window simulates a representative sample of packets, takes
+    the mean per-packet latency, and converts it to sustained throughput
+    via the target's run-to-completion capacity model
+    [min(line_rate, num_cores * capacity / avg_latency)]. Run-to-
+    completion multicore NICs are work-conserving, so mean service time
+    determines saturation throughput. *)
+
+type t
+
+val create : ?config:Exec.config -> Costmodel.Target.t -> P4ir.Program.t -> t
+(** [config] defaults to {!Exec.default_config}. *)
+
+val exec : t -> Exec.t
+val target : t -> Costmodel.Target.t
+val now : t -> float
+(** Emulated seconds since creation. *)
+
+val advance : t -> float -> unit
+(** Move the emulated clock forward without traffic (idle time). *)
+
+type window_stats = {
+  window_start : float;
+  window_duration : float;
+  sampled_packets : int;
+  sampled_drops : int;
+  avg_latency : float;  (** mean per-packet latency in latency units *)
+  p99_latency : float;
+  throughput_gbps : float;  (** sustained, capped at line rate *)
+  drop_fraction : float;
+}
+
+val run_window :
+  t -> duration:float -> packets:int -> source:(unit -> Packet.t) -> window_stats
+(** Simulate [packets] sample packets spread uniformly over [duration]
+    emulated seconds (the clock advances between packets, so cache
+    token buckets and time series behave), then advance the clock to the
+    window end. *)
+
+val insert : t -> table:string -> P4ir.Table.entry -> unit
+(** Control-plane entry insert (counts toward the table's update rate).
+    @raise Invalid_argument if the table does not exist. *)
+
+val delete : t -> table:string -> patterns:P4ir.Pattern.t list -> bool
+
+val reconfigure : ?config:Exec.config -> ?downtime:float -> t -> P4ir.Program.t -> unit
+(** Swap in a new program. Tables whose names survive keep their dynamic
+    entries (live reconfiguration on runtime-programmable NICs); caches of
+    the outgoing program are not carried over. [downtime] (default 0)
+    advances the clock, modelling reload-based targets like Agilio
+    (§5.1: micro-engine reflash interrupts service). *)
+
+val hot_patch : ?downtime_per_table:float -> t -> P4ir.Program.t -> int
+(** Incremental reconfiguration (§6 "compile and deploy updates
+    incrementally"): keep engines, counters, and clock; only new or
+    reshaped tables are rebuilt. The clock advances by
+    [downtime_per_table] (default 0.02 s) per rebuilt table — a fraction
+    of a full reload. Returns the number of rebuilt tables. *)
+
+val current_profile : ?window:float -> t -> Profile.t
+(** Profile from the counters accumulated since the last call (folded
+    back onto original table names via the counter map), tagged with the
+    per-table control-plane update rates for the same period. *)

@@ -1,0 +1,1 @@
+lib/p4ir/action.ml: Field Format List Value

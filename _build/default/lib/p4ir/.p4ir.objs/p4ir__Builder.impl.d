@@ -1,0 +1,1 @@
+lib/p4ir/builder.ml: Action Field List Match_kind Printf Program Table

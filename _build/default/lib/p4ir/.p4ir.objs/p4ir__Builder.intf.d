@@ -1,0 +1,1 @@
+lib/p4ir/builder.mli: Action Field Program Table Value

@@ -1,0 +1,1 @@
+lib/p4ir/deps.ml: Field List Set Table

@@ -1,0 +1,1 @@
+lib/p4ir/dot.ml: Buffer Deps Field List Printf Program String Table Value

@@ -1,0 +1,1 @@
+lib/p4ir/field.ml: Format Hashtbl Int64 Stdlib String

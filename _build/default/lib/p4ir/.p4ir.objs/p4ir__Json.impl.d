@@ -1,0 +1,1 @@
+lib/p4ir/json.ml: Buffer Char Float Int64 List Printf String

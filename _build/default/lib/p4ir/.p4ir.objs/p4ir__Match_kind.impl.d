@@ -1,0 +1,1 @@
+lib/p4ir/match_kind.ml: Format Stdlib

@@ -1,0 +1,1 @@
+lib/p4ir/pattern.ml: Format Int64 Match_kind Value

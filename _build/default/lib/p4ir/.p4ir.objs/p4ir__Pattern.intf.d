@@ -1,0 +1,1 @@
+lib/p4ir/pattern.mli: Format Match_kind Value

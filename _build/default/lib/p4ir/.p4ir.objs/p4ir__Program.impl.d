@@ -1,0 +1,1 @@
+lib/p4ir/program.ml: Action Field Format Hashtbl Int Int64 List Map Option Printf Queue Result String Table Value

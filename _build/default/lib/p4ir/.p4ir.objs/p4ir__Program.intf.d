@@ -1,0 +1,1 @@
+lib/p4ir/program.mli: Field Format Table Value

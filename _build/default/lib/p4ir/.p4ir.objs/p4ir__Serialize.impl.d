@@ -1,0 +1,1 @@
+lib/p4ir/serialize.ml: Action Field Fun Int64 Json List Match_kind Pattern Program Table

@@ -1,0 +1,1 @@
+lib/p4ir/serialize.mli: Json Program

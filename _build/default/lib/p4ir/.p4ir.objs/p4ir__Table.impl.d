@@ -1,0 +1,1 @@
+lib/p4ir/table.ml: Action Field Format Int64 List Match_kind Pattern Printf String

@@ -1,0 +1,1 @@
+lib/p4ir/table.mli: Action Field Format Match_kind Pattern Value

@@ -1,0 +1,67 @@
+type primitive =
+  | Set_field of Field.t * Value.t
+  | Set_from of Field.t * Field.t
+  | Add_const of Field.t * Value.t
+  | Dec_ttl
+  | Forward of int
+  | Drop
+  | Nop
+
+type t = { name : string; prims : primitive list }
+
+let make name prims = { name; prims }
+let nop name = { name; prims = [] }
+let drop_action = { name = "drop"; prims = [ Drop ] }
+let num_primitives a = List.length a.prims
+
+let is_dropping a = List.exists (function Drop -> true | _ -> false) a.prims
+
+let reads = function
+  | Set_field _ -> []
+  | Set_from (_, src) -> [ src ]
+  | Add_const (f, _) -> [ f ]
+  | Dec_ttl -> [ Field.Ipv4_ttl ]
+  | Forward _ | Drop | Nop -> []
+
+let writes = function
+  | Set_field (f, _) -> [ f ]
+  | Set_from (dst, _) -> [ dst ]
+  | Add_const (f, _) -> [ f ]
+  | Dec_ttl -> [ Field.Ipv4_ttl ]
+  | Forward _ | Drop | Nop -> []
+
+let dedup fields =
+  List.sort_uniq Field.compare fields
+
+let reads_of a = dedup (List.concat_map reads a.prims)
+let writes_of a = dedup (List.concat_map writes a.prims)
+
+let rename name a = { a with name }
+
+let rec take_until_drop = function
+  | [] -> ([], false)
+  | Drop :: _ -> ([ Drop ], true)
+  | p :: rest ->
+    let kept, dropped = take_until_drop rest in
+    (p :: kept, dropped)
+
+let concat name a b =
+  let a_prims, a_drops = take_until_drop a.prims in
+  if a_drops then { name; prims = a_prims }
+  else { name; prims = a_prims @ fst (take_until_drop b.prims) }
+
+let equal (a : t) b = a = b
+
+let pp_primitive fmt = function
+  | Set_field (f, v) -> Format.fprintf fmt "%a = %a" Field.pp f Value.pp v
+  | Set_from (d, s) -> Format.fprintf fmt "%a = %a" Field.pp d Field.pp s
+  | Add_const (f, v) -> Format.fprintf fmt "%a += %a" Field.pp f Value.pp v
+  | Dec_ttl -> Format.pp_print_string fmt "dec_ttl"
+  | Forward p -> Format.fprintf fmt "forward(%d)" p
+  | Drop -> Format.pp_print_string fmt "drop"
+  | Nop -> Format.pp_print_string fmt "nop"
+
+let pp fmt a =
+  Format.fprintf fmt "@[<h>%s {%a}@]" a.name
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f "; ") pp_primitive)
+    a.prims

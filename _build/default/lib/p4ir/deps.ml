@@ -1,0 +1,36 @@
+type kind = Match_dep | Action_dep | Reverse_dep
+
+module FieldSet = Set.Make (Field)
+
+let set_of xs = FieldSet.of_list xs
+let intersects a b = not (FieldSet.is_empty (FieldSet.inter a b))
+
+let sets (t : Table.t) =
+  (set_of (Table.reads_of t), set_of (Table.writes_of t))
+
+let between a b =
+  let ra, wa = sets a in
+  let rb, wb = sets b in
+  let deps = [] in
+  let deps = if intersects wa rb then Match_dep :: deps else deps in
+  let deps = if intersects wa wb then Action_dep :: deps else deps in
+  let deps = if intersects ra wb then Reverse_dep :: deps else deps in
+  deps
+
+let independent a b = between a b = []
+
+let reorderable_chain tabs =
+  let rec go = function
+    | [] | [ _ ] -> true
+    | t :: rest -> List.for_all (independent t) rest && go rest
+  in
+  go tabs
+
+let conflict_free_groups tabs =
+  let rec go current groups = function
+    | [] -> List.rev (List.rev current :: groups)
+    | t :: rest ->
+      if List.for_all (independent t) current then go (t :: current) groups rest
+      else go [ t ] (List.rev current :: groups) rest
+  in
+  match tabs with [] -> [] | t :: rest -> go [ t ] [] rest

@@ -1,0 +1,87 @@
+let escape s = String.concat "\\\"" (String.split_on_char '"' s)
+
+let node_attrs (tab : Table.t) =
+  match tab.role with
+  | Table.Regular -> "shape=box"
+  | Table.Cache _ -> "shape=box style=filled fillcolor=lightblue"
+  | Table.Merged _ -> "shape=box style=filled fillcolor=lightyellow"
+  | Table.Navigation | Table.Migration -> "shape=box style=dashed"
+
+let program ?reach prog =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %S {\n  rankdir=TB;\n" (Program.name prog));
+  Buffer.add_string buf "  sink [shape=doublecircle label=\"out\"];\n";
+  let annotation id =
+    match reach with
+    | Some f -> (
+      match f id with Some p -> Printf.sprintf "\\np=%.2f" p | None -> "")
+    | None -> ""
+  in
+  List.iter
+    (fun id ->
+      (match Program.find_exn prog id with
+       | Program.Table (tab, _) ->
+         Buffer.add_string buf
+           (Printf.sprintf "  n%d [%s label=\"%s%s\"];\n" id (node_attrs tab)
+              (escape tab.Table.name) (annotation id))
+       | Program.Cond c ->
+         Buffer.add_string buf
+           (Printf.sprintf "  n%d [shape=diamond label=\"%s %s%s\"];\n" id
+              (escape (Field.to_string c.field))
+              (escape (Value.to_hex c.arg))
+              (annotation id)));
+      List.iter
+        (fun (label, nxt) ->
+          let target = match nxt with Some d -> Printf.sprintf "n%d" d | None -> "sink" in
+          let lbl =
+            match label with
+            | None -> ""
+            | Some Program.Cond_true -> " [label=\"T\"]"
+            | Some Program.Cond_false -> " [label=\"F\"]"
+            | Some (Program.Action_fired a) -> Printf.sprintf " [label=\"%s\"]" (escape a)
+          in
+          Buffer.add_string buf (Printf.sprintf "  n%d -> %s%s;\n" id target lbl))
+        (Program.out_edges prog id))
+    (Program.reachable prog);
+  (match Program.root prog with
+   | Some r ->
+     Buffer.add_string buf "  entry [shape=circle label=\"in\"];\n";
+     Buffer.add_string buf (Printf.sprintf "  entry -> n%d;\n" r)
+   | None -> ());
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let dependencies prog =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "digraph %S {\n  rankdir=LR;\n  node [shape=box];\n"
+       (Program.name prog ^ "_deps"));
+  let tabs = List.map snd (Program.tables prog) in
+  List.iter
+    (fun (t : Table.t) ->
+      Buffer.add_string buf (Printf.sprintf "  %S;\n" t.name))
+    tabs;
+  let rec pairs = function
+    | [] -> ()
+    | (a : Table.t) :: rest ->
+      List.iter
+        (fun (b : Table.t) ->
+          let deps = Deps.between a b in
+          if deps <> [] then begin
+            let label =
+              String.concat ","
+                (List.map
+                   (function
+                     | Deps.Match_dep -> "match"
+                     | Deps.Action_dep -> "action"
+                     | Deps.Reverse_dep -> "reverse")
+                   deps)
+            in
+            Buffer.add_string buf (Printf.sprintf "  %S -> %S [label=\"%s\"];\n" a.name b.name label)
+          end)
+        rest;
+      pairs rest
+  in
+  pairs tabs;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,14 @@
+(** Graphviz DOT export of programs and table-dependency graphs, for
+    inspecting layouts before and after optimization
+    ([dot -Tsvg prog.dot]). *)
+
+val program : ?reach:(Program.node_id -> float option) -> Program.t -> string
+(** The program DAG: tables as boxes (caches and merged tables shaded,
+    navigation/migration dashed), conditionals as diamonds, edge labels
+    for branch outcomes and switch-case actions. When [reach] yields a
+    probability for a node, its label is annotated with it. *)
+
+val dependencies : Program.t -> string
+(** The table dependency graph: an edge A -> B whenever the pair is not
+    freely reorderable ({!Deps.independent}), labelled with the
+    dependency kinds. *)

@@ -1,0 +1,95 @@
+type t =
+  | Eth_src
+  | Eth_dst
+  | Eth_type
+  | Ipv4_src
+  | Ipv4_dst
+  | Ipv4_ttl
+  | Ipv4_proto
+  | Ipv4_dscp
+  | Ipv4_len
+  | Tcp_sport
+  | Tcp_dport
+  | Tcp_flags
+  | Udp_sport
+  | Udp_dport
+  | Ingress_port
+  | Next_tab_id
+  | Meta of int
+
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+let hash (f : t) = Hashtbl.hash f
+
+let width = function
+  | Eth_src | Eth_dst -> 48
+  | Eth_type -> 16
+  | Ipv4_src | Ipv4_dst -> 32
+  | Ipv4_ttl -> 8
+  | Ipv4_proto -> 8
+  | Ipv4_dscp -> 6
+  | Ipv4_len -> 16
+  | Tcp_sport | Tcp_dport -> 16
+  | Tcp_flags -> 8
+  | Udp_sport | Udp_dport -> 16
+  | Ingress_port -> 9
+  | Next_tab_id -> 16
+  | Meta _ -> 32
+
+let max_value f =
+  let w = width f in
+  if w >= 64 then Int64.minus_one
+  else Int64.sub (Int64.shift_left 1L w) 1L
+
+let to_string = function
+  | Eth_src -> "eth.src"
+  | Eth_dst -> "eth.dst"
+  | Eth_type -> "eth.type"
+  | Ipv4_src -> "ipv4.src"
+  | Ipv4_dst -> "ipv4.dst"
+  | Ipv4_ttl -> "ipv4.ttl"
+  | Ipv4_proto -> "ipv4.proto"
+  | Ipv4_dscp -> "ipv4.dscp"
+  | Ipv4_len -> "ipv4.len"
+  | Tcp_sport -> "tcp.sport"
+  | Tcp_dport -> "tcp.dport"
+  | Tcp_flags -> "tcp.flags"
+  | Udp_sport -> "udp.sport"
+  | Udp_dport -> "udp.dport"
+  | Ingress_port -> "std.ingress_port"
+  | Next_tab_id -> "meta.next_tab_id"
+  | Meta i -> "meta." ^ string_of_int i
+
+let of_string s =
+  match s with
+  | "eth.src" -> Eth_src
+  | "eth.dst" -> Eth_dst
+  | "eth.type" -> Eth_type
+  | "ipv4.src" -> Ipv4_src
+  | "ipv4.dst" -> Ipv4_dst
+  | "ipv4.ttl" -> Ipv4_ttl
+  | "ipv4.proto" -> Ipv4_proto
+  | "ipv4.dscp" -> Ipv4_dscp
+  | "ipv4.len" -> Ipv4_len
+  | "tcp.sport" -> Tcp_sport
+  | "tcp.dport" -> Tcp_dport
+  | "tcp.flags" -> Tcp_flags
+  | "udp.sport" -> Udp_sport
+  | "udp.dport" -> Udp_dport
+  | "std.ingress_port" -> Ingress_port
+  | "meta.next_tab_id" -> Next_tab_id
+  | _ ->
+    (match String.index_opt s '.' with
+     | Some i when String.sub s 0 i = "meta" ->
+       let rest = String.sub s (i + 1) (String.length s - i - 1) in
+       (match int_of_string_opt rest with
+        | Some n when n >= 0 -> Meta n
+        | _ -> invalid_arg ("Field.of_string: " ^ s))
+     | _ -> invalid_arg ("Field.of_string: " ^ s))
+
+let pp fmt f = Format.pp_print_string fmt (to_string f)
+
+let all_standard =
+  [ Eth_src; Eth_dst; Eth_type; Ipv4_src; Ipv4_dst; Ipv4_ttl; Ipv4_proto;
+    Ipv4_dscp; Ipv4_len; Tcp_sport; Tcp_dport; Tcp_flags; Udp_sport;
+    Udp_dport; Ingress_port; Next_tab_id ]

@@ -1,0 +1,44 @@
+(** Packet header and metadata fields visible to P4 programs.
+
+    The IR uses a closed set of standard L2-L4 header fields plus numbered
+    user-metadata slots, which is what the Pipeleon experiments need. Widths
+    follow the wire formats (e.g. IPv4 addresses are 32 bits). *)
+
+type t =
+  | Eth_src
+  | Eth_dst
+  | Eth_type
+  | Ipv4_src
+  | Ipv4_dst
+  | Ipv4_ttl
+  | Ipv4_proto
+  | Ipv4_dscp
+  | Ipv4_len
+  | Tcp_sport
+  | Tcp_dport
+  | Tcp_flags
+  | Udp_sport
+  | Udp_dport
+  | Ingress_port
+  | Next_tab_id  (** migration metadata for heterogeneous targets (§3.2.4) *)
+  | Meta of int  (** user metadata slot; widths are 32 bits *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val width : t -> int
+(** Width of the field in bits (1..64). *)
+
+val max_value : t -> int64
+(** Largest value representable in [width t] bits. *)
+
+val to_string : t -> string
+
+val of_string : string -> t
+(** Inverse of {!to_string}. @raise Invalid_argument on unknown names. *)
+
+val pp : Format.formatter -> t -> unit
+
+val all_standard : t list
+(** Every non-[Meta] field, in declaration order. *)

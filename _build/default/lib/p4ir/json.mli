@@ -1,0 +1,29 @@
+(** Minimal self-contained JSON support (parser and printer).
+
+    Pipeleon consumes and produces the P4 compiler's intermediate [.json]
+    files (§5.1); this module gives the IR a compatible interchange format
+    without external dependencies. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int64
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:int -> t -> string
+val of_string : string -> (t, string) result
+val of_string_exn : string -> t
+
+(** Accessors; all raise [Invalid_argument] with a path message on
+    shape mismatches. *)
+
+val member : string -> t -> t
+val member_opt : string -> t -> t option
+val to_list : t -> t list
+val get_string : t -> string
+val get_int : t -> int64
+val get_float : t -> float
+val get_bool : t -> bool

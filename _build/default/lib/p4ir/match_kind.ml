@@ -1,0 +1,20 @@
+type t = Exact | Lpm | Ternary | Range
+
+let equal (a : t) b = a = b
+let compare (a : t) b = Stdlib.compare a b
+
+let to_string = function
+  | Exact -> "exact"
+  | Lpm -> "lpm"
+  | Ternary -> "ternary"
+  | Range -> "range"
+
+let of_string = function
+  | "exact" -> Exact
+  | "lpm" -> Lpm
+  | "ternary" -> Ternary
+  | "range" -> Range
+  | s -> invalid_arg ("Match_kind.of_string: " ^ s)
+
+let pp fmt k = Format.pp_print_string fmt (to_string k)
+let all = [ Exact; Lpm; Ternary; Range ]

@@ -1,0 +1,12 @@
+(** P4 match kinds supported by the IR. *)
+
+type t = Exact | Lpm | Ternary | Range
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val to_string : t -> string
+val of_string : string -> t
+(** @raise Invalid_argument on unknown names. *)
+
+val pp : Format.formatter -> t -> unit
+val all : t list

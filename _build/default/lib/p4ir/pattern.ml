@@ -1,0 +1,53 @@
+type t =
+  | Exact of Value.t
+  | Lpm of Value.t * int
+  | Ternary of Value.t * Value.t
+  | Range of Value.t * Value.t
+
+let kind = function
+  | Exact _ -> Match_kind.Exact
+  | Lpm _ -> Match_kind.Lpm
+  | Ternary _ -> Match_kind.Ternary
+  | Range _ -> Match_kind.Range
+
+let wildcard = function
+  | Match_kind.Exact -> invalid_arg "Pattern.wildcard: exact has no wildcard"
+  | Match_kind.Lpm -> Lpm (0L, 0)
+  | Match_kind.Ternary -> Ternary (0L, 0L)
+  | Match_kind.Range -> Range (0L, Int64.minus_one)
+
+let is_wildcard = function
+  | Exact _ -> false
+  | Lpm (_, len) -> len = 0
+  | Ternary (_, mask) -> Int64.equal mask 0L
+  | Range (lo, hi) -> Int64.equal lo 0L && Int64.equal hi Int64.minus_one
+
+let matches ~width pat v =
+  match pat with
+  | Exact value -> Int64.equal (Value.truncate ~width v) (Value.truncate ~width value)
+  | Lpm (value, prefix_len) ->
+    let mask = Value.prefix_mask ~width ~prefix_len in
+    Value.matches_mask ~value ~mask v
+  | Ternary (value, mask) -> Value.matches_mask ~value ~mask v
+  | Range (lo, hi) -> Value.in_range ~lo ~hi v
+
+let popcount v =
+  let rec go acc v = if Int64.equal v 0L then acc
+    else go (acc + 1) (Int64.logand v (Int64.sub v 1L)) in
+  go 0 v
+
+let specificity = function
+  | Exact _ -> 64
+  | Lpm (_, len) -> len
+  | Ternary (_, mask) -> popcount mask
+  | Range (lo, hi) -> if Int64.equal lo hi then 64 else 0
+
+let equal (a : t) b = a = b
+
+let pp fmt = function
+  | Exact v -> Format.fprintf fmt "%a" Value.pp v
+  | Lpm (v, len) -> Format.fprintf fmt "%a/%d" Value.pp v len
+  | Ternary (v, m) -> Format.fprintf fmt "%a&&&%a" Value.pp v Value.pp m
+  | Range (lo, hi) -> Format.fprintf fmt "%a..%a" Value.pp lo Value.pp hi
+
+let to_string p = Format.asprintf "%a" pp p

@@ -1,0 +1,27 @@
+(** Match patterns stored in table entries, one per key field. *)
+
+type t =
+  | Exact of Value.t
+  | Lpm of Value.t * int  (** value and prefix length *)
+  | Ternary of Value.t * Value.t  (** value and mask; mask 0 is wildcard *)
+  | Range of Value.t * Value.t  (** inclusive [lo, hi] *)
+
+val kind : t -> Match_kind.t
+
+val wildcard : Match_kind.t -> t
+(** The pattern of the given kind that matches every value.
+    @raise Invalid_argument for [Exact], which has no wildcard. *)
+
+val is_wildcard : t -> bool
+
+val matches : width:int -> t -> Value.t -> bool
+(** Does a concrete field value satisfy the pattern? [width] is the field
+    width in bits (needed to expand LPM prefixes into masks). *)
+
+val specificity : t -> int
+(** Number of exactly-constrained bits: used to order overlapping entries
+    when priorities tie. Exact counts as 64. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,269 @@
+open Json
+
+let next_to_json : Program.next -> Json.t = function
+  | None -> Null
+  | Some id -> Int (Int64.of_int id)
+
+let next_of_json : Json.t -> Program.next = function
+  | Null -> None
+  | j -> Some (Int64.to_int (get_int j))
+
+let prim_to_json : Action.primitive -> Json.t = function
+  | Action.Set_field (f, v) ->
+    Obj [ ("op", String "set"); ("field", String (Field.to_string f)); ("value", Int v) ]
+  | Action.Set_from (d, s) ->
+    Obj
+      [ ("op", String "copy");
+        ("field", String (Field.to_string d));
+        ("src", String (Field.to_string s)) ]
+  | Action.Add_const (f, v) ->
+    Obj [ ("op", String "add"); ("field", String (Field.to_string f)); ("value", Int v) ]
+  | Action.Dec_ttl -> Obj [ ("op", String "dec_ttl") ]
+  | Action.Forward p -> Obj [ ("op", String "forward"); ("port", Int (Int64.of_int p)) ]
+  | Action.Drop -> Obj [ ("op", String "drop") ]
+  | Action.Nop -> Obj [ ("op", String "nop") ]
+
+let prim_of_json j : Action.primitive =
+  let field () = Field.of_string (get_string (member "field" j)) in
+  match get_string (member "op" j) with
+  | "set" -> Action.Set_field (field (), get_int (member "value" j))
+  | "copy" -> Action.Set_from (field (), Field.of_string (get_string (member "src" j)))
+  | "add" -> Action.Add_const (field (), get_int (member "value" j))
+  | "dec_ttl" -> Action.Dec_ttl
+  | "forward" -> Action.Forward (Int64.to_int (get_int (member "port" j)))
+  | "drop" -> Action.Drop
+  | "nop" -> Action.Nop
+  | op -> invalid_arg ("Serialize: unknown primitive op " ^ op)
+
+let action_to_json (a : Action.t) =
+  Obj [ ("name", String a.name); ("primitives", List (List.map prim_to_json a.prims)) ]
+
+let action_of_json j =
+  Action.make
+    (get_string (member "name" j))
+    (List.map prim_of_json (to_list (member "primitives" j)))
+
+let pattern_to_json : Pattern.t -> Json.t = function
+  | Pattern.Exact v -> Obj [ ("kind", String "exact"); ("value", Int v) ]
+  | Pattern.Lpm (v, len) ->
+    Obj [ ("kind", String "lpm"); ("value", Int v); ("prefix_len", Int (Int64.of_int len)) ]
+  | Pattern.Ternary (v, m) ->
+    Obj [ ("kind", String "ternary"); ("value", Int v); ("mask", Int m) ]
+  | Pattern.Range (lo, hi) ->
+    Obj [ ("kind", String "range"); ("lo", Int lo); ("hi", Int hi) ]
+
+let pattern_of_json j : Pattern.t =
+  match get_string (member "kind" j) with
+  | "exact" -> Pattern.Exact (get_int (member "value" j))
+  | "lpm" ->
+    Pattern.Lpm (get_int (member "value" j), Int64.to_int (get_int (member "prefix_len" j)))
+  | "ternary" -> Pattern.Ternary (get_int (member "value" j), get_int (member "mask" j))
+  | "range" -> Pattern.Range (get_int (member "lo" j), get_int (member "hi" j))
+  | k -> invalid_arg ("Serialize: unknown pattern kind " ^ k)
+
+let entry_to_json (e : Table.entry) =
+  Obj
+    [ ("patterns", List (List.map pattern_to_json e.patterns));
+      ("action", String e.action);
+      ("priority", Int (Int64.of_int e.priority)) ]
+
+let entry_of_json j : Table.entry =
+  { Table.patterns = List.map pattern_of_json (to_list (member "patterns" j));
+    action = get_string (member "action" j);
+    priority = Int64.to_int (get_int (member "priority" j)) }
+
+let key_to_json (k : Table.key) =
+  Obj
+    [ ("field", String (Field.to_string k.field));
+      ("match_kind", String (Match_kind.to_string k.kind)) ]
+
+let key_of_json j : Table.key =
+  { Table.field = Field.of_string (get_string (member "field" j));
+    kind = Match_kind.of_string (get_string (member "match_kind" j)) }
+
+let role_to_json : Table.role -> Json.t = function
+  | Table.Regular -> Obj [ ("type", String "regular") ]
+  | Table.Cache m ->
+    Obj
+      [ ("type", String "cache");
+        ("cached_tables", List (List.map (fun s -> String s) m.cached_tables));
+        ("capacity", Int (Int64.of_int m.capacity));
+        ("insert_limit", Float m.insert_limit);
+        ("auto_insert", Bool m.auto_insert) ]
+  | Table.Merged names ->
+    Obj [ ("type", String "merged"); ("of", List (List.map (fun s -> String s) names)) ]
+  | Table.Navigation -> Obj [ ("type", String "navigation") ]
+  | Table.Migration -> Obj [ ("type", String "migration") ]
+
+let role_of_json j : Table.role =
+  match get_string (member "type" j) with
+  | "regular" -> Table.Regular
+  | "cache" ->
+    Table.Cache
+      { Table.cached_tables = List.map get_string (to_list (member "cached_tables" j));
+        capacity = Int64.to_int (get_int (member "capacity" j));
+        insert_limit = get_float (member "insert_limit" j);
+        auto_insert = get_bool (member "auto_insert" j) }
+  | "merged" -> Table.Merged (List.map get_string (to_list (member "of" j)))
+  | "navigation" -> Table.Navigation
+  | "migration" -> Table.Migration
+  | r -> invalid_arg ("Serialize: unknown table role " ^ r)
+
+let table_next_to_json : Program.table_next -> Json.t = function
+  | Program.Uniform nxt -> Obj [ ("type", String "uniform"); ("next", next_to_json nxt) ]
+  | Program.Per_action branches ->
+    Obj
+      [ ("type", String "per_action");
+        ("branches",
+         List
+           (List.map
+              (fun (a, nxt) -> Obj [ ("action", String a); ("next", next_to_json nxt) ])
+              branches)) ]
+
+let table_next_of_json j : Program.table_next =
+  match get_string (member "type" j) with
+  | "uniform" -> Program.Uniform (next_of_json (member "next" j))
+  | "per_action" ->
+    Program.Per_action
+      (List.map
+         (fun b -> (get_string (member "action" b), next_of_json (member "next" b)))
+         (to_list (member "branches" j)))
+  | k -> invalid_arg ("Serialize: unknown table_next " ^ k)
+
+let cmp_to_string : Program.cmp -> string = function
+  | Program.Eq -> "eq"
+  | Program.Neq -> "neq"
+  | Program.Lt -> "lt"
+  | Program.Gt -> "gt"
+  | Program.Le -> "le"
+  | Program.Ge -> "ge"
+
+let cmp_of_string = function
+  | "eq" -> Program.Eq
+  | "neq" -> Program.Neq
+  | "lt" -> Program.Lt
+  | "gt" -> Program.Gt
+  | "le" -> Program.Le
+  | "ge" -> Program.Ge
+  | s -> invalid_arg ("Serialize: unknown comparison " ^ s)
+
+let node_to_json id (node : Program.node) =
+  match node with
+  | Program.Table (tab, nxt) ->
+    Obj
+      [ ("id", Int (Int64.of_int id));
+        ("kind", String "table");
+        ("name", String tab.Table.name);
+        ("keys", List (List.map key_to_json tab.keys));
+        ("actions", List (List.map action_to_json tab.actions));
+        ("default_action", String tab.default_action);
+        ("entries", List (List.map entry_to_json tab.entries));
+        ("max_entries", Int (Int64.of_int tab.max_entries));
+        ("role", role_to_json tab.role);
+        ("next", table_next_to_json nxt) ]
+  | Program.Cond c ->
+    Obj
+      [ ("id", Int (Int64.of_int id));
+        ("kind", String "conditional");
+        ("name", String c.cond_name);
+        ("field", String (Field.to_string c.field));
+        ("op", String (cmp_to_string c.op));
+        ("arg", Int c.arg);
+        ("true_next", next_to_json c.on_true);
+        ("false_next", next_to_json c.on_false) ]
+
+let node_of_json j : int * Program.node =
+  let id = Int64.to_int (get_int (member "id" j)) in
+  let node =
+    match get_string (member "kind" j) with
+    | "table" ->
+      let tab =
+        Table.make
+          ~name:(get_string (member "name" j))
+          ~keys:(List.map key_of_json (to_list (member "keys" j)))
+          ~actions:(List.map action_of_json (to_list (member "actions" j)))
+          ~default_action:(get_string (member "default_action" j))
+          ~entries:(List.map entry_of_json (to_list (member "entries" j)))
+          ~max_entries:(Int64.to_int (get_int (member "max_entries" j)))
+          ~role:(role_of_json (member "role" j))
+          ()
+      in
+      Program.Table (tab, table_next_of_json (member "next" j))
+    | "conditional" ->
+      Program.Cond
+        { Program.cond_name = get_string (member "name" j);
+          field = Field.of_string (get_string (member "field" j));
+          op = cmp_of_string (get_string (member "op" j));
+          arg = get_int (member "arg" j);
+          on_true = next_of_json (member "true_next" j);
+          on_false = next_of_json (member "false_next" j) }
+    | k -> invalid_arg ("Serialize: unknown node kind " ^ k)
+  in
+  (id, node)
+
+let program_to_json prog =
+  Obj
+    [ ("program", String (Program.name prog));
+      ("init_node", next_to_json (Program.root prog));
+      ("nodes",
+       List
+         (List.map
+            (fun id -> node_to_json id (Program.find_exn prog id))
+            (Program.node_ids prog))) ]
+
+let placeholder_cond =
+  { Program.cond_name = "__placeholder";
+    field = Field.Ipv4_ttl;
+    op = Program.Eq;
+    arg = 0L;
+    on_true = None;
+    on_false = None }
+
+let program_of_json j =
+  let prog = Program.empty (get_string (member "program" j)) in
+  let nodes = List.map node_of_json (to_list (member "nodes" j)) in
+  (* Preserve original ids: insert placeholders up to the max id, then
+     overwrite. Fresh allocation starts past the max id. *)
+  let max_id = List.fold_left (fun acc (id, _) -> max acc id) (-1) nodes in
+  let prog = ref prog in
+  for _ = 0 to max_id do
+    let p, _ = Program.add_node !prog (Program.Cond placeholder_cond) in
+    prog := p
+  done;
+  let prog = List.fold_left (fun p (id, node) -> Program.set_node p id node) !prog nodes in
+  (* Remove placeholder ids that were not present in the input. *)
+  let present = List.map fst nodes in
+  let prog =
+    List.fold_left
+      (fun p id -> if List.mem id present then p else Program.remove_node p id)
+      prog
+      (List.init (max_id + 1) Fun.id)
+  in
+  Program.with_root prog (next_of_json (member "init_node" j))
+
+let to_string prog = Json.to_string ~indent:2 (program_to_json prog)
+
+let of_string s =
+  match Json.of_string s with
+  | Error e -> Error e
+  | Ok j -> (
+    match program_of_json j with
+    | p -> Ok p
+    | exception Invalid_argument msg -> Error msg)
+
+let save path prog =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string prog))
+
+let load path =
+  let ic = open_in path in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match of_string content with
+  | Ok p -> p
+  | Error msg -> invalid_arg ("Serialize.load: " ^ msg)

@@ -1,0 +1,19 @@
+(** Program (de)serialization to the JSON intermediate format.
+
+    The encoding mirrors the structure a P4 compiler emits: a [tables]
+    array (with keys, actions, entries, and next-node references), a
+    [conditionals] array, and an [init_node] root — enough for Pipeleon's
+    source-to-source round trip (§5.1). *)
+
+val program_to_json : Program.t -> Json.t
+val program_of_json : Json.t -> Program.t
+(** @raise Invalid_argument on malformed input. *)
+
+val to_string : Program.t -> string
+val of_string : string -> (Program.t, string) result
+
+val save : string -> Program.t -> unit
+(** Write to a file path. *)
+
+val load : string -> Program.t
+(** @raise Sys_error / Invalid_argument on failure. *)

@@ -1,0 +1,20 @@
+type t = int64
+
+let truncate ~width v =
+  if width >= 64 then v
+  else Int64.logand v (Int64.sub (Int64.shift_left 1L width) 1L)
+
+let prefix_mask ~width ~prefix_len =
+  if prefix_len <= 0 then 0L
+  else if prefix_len >= width then truncate ~width Int64.minus_one
+  else
+    let ones = Int64.sub (Int64.shift_left 1L prefix_len) 1L in
+    Int64.shift_left ones (width - prefix_len)
+
+let matches_mask ~value ~mask v =
+  Int64.equal (Int64.logand v mask) (Int64.logand value mask)
+
+let compare_unsigned = Int64.unsigned_compare
+let in_range ~lo ~hi v = compare_unsigned lo v <= 0 && compare_unsigned v hi <= 0
+let to_hex v = Printf.sprintf "0x%Lx" v
+let pp fmt v = Format.pp_print_string fmt (to_hex v)

@@ -1,0 +1,1 @@
+lib/p4lite/emit.ml: Buffer Hashtbl Int List P4ir Printf Set String

@@ -1,0 +1,1 @@
+lib/p4lite/emit.mli: P4ir

@@ -1,0 +1,1 @@
+lib/p4lite/lexer.ml: Int64 List Printf String Token

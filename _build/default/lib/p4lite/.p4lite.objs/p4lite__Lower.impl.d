@@ -1,0 +1,1 @@
+lib/p4lite/lower.ml: Ast Fun Hashtbl Int64 List P4ir Parser Printf String

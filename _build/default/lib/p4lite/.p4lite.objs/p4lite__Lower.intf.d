@@ -1,0 +1,1 @@
+lib/p4lite/lower.mli: Ast P4ir

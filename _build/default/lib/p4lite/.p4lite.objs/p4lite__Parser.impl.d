@@ -1,0 +1,1 @@
+lib/p4lite/parser.ml: Ast Int64 Lexer List Printf Token

@@ -1,0 +1,1 @@
+lib/p4lite/parser.mli: Ast

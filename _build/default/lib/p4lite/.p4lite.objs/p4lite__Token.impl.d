@@ -1,0 +1,1 @@
+lib/p4lite/token.ml: Int64

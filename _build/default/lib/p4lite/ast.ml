@@ -1,0 +1,56 @@
+(* Surface AST of P4-lite. Line numbers are kept for error reporting
+   during lowering. *)
+
+type primitive =
+  | Set_const of string * int64  (* field = value *)
+  | Set_copy of string * string  (* field = field *)
+  | Add_const of string * int64  (* field += value *)
+  | Dec_ttl
+  | Forward of int
+  | Drop
+  | Nop
+
+type action_decl = { a_name : string; a_body : primitive list; a_line : int }
+
+type key_decl = { k_field : string; k_kind : string; k_line : int }
+
+type pattern =
+  | P_exact of int64
+  | P_lpm of int64 * int  (* value / prefix_len *)
+  | P_ternary of int64 * int64  (* value &&& mask *)
+  | P_range of int64 * int64  (* lo .. hi *)
+  | P_wild  (* _ : any value (kind-appropriate wildcard) *)
+
+type entry_decl = {
+  e_patterns : pattern list;
+  e_action : string;
+  e_priority : int;
+  e_line : int;
+}
+
+type table_decl = {
+  t_name : string;
+  t_keys : key_decl list;
+  t_actions : string list;
+  t_default : string option;
+  t_size : int option;
+  t_entries : entry_decl list;
+  t_line : int;
+}
+
+type cmp = C_eq | C_neq | C_lt | C_gt | C_le | C_ge
+
+type statement =
+  | Apply of string * int  (* table name, line *)
+  | If of condition * statement list * statement list
+  | Switch of string * (string * statement list) list * statement list option * int
+      (* table, cases by action name, optional default block *)
+
+and condition = { c_field : string; c_op : cmp; c_value : int64; c_line : int }
+
+type program = {
+  p_name : string;
+  p_actions : action_decl list;
+  p_tables : table_decl list;
+  p_control : statement list;
+}

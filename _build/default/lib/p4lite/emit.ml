@@ -1,0 +1,225 @@
+exception Unstructured of string
+
+module IntSet = Set.Make (Int)
+
+let exit_id = -1
+
+(* Postdominator sets over the DAG, treating the sink as a virtual node.
+   pd(n) = {n} ∪ ⋂ pd(succ); computed in reverse topological order. *)
+let postdominators prog =
+  let order = List.rev (P4ir.Program.topological_order prog) in
+  let pd = Hashtbl.create 16 in
+  Hashtbl.replace pd exit_id (IntSet.singleton exit_id);
+  List.iter
+    (fun id ->
+      let succs =
+        P4ir.Program.out_edges prog id
+        |> List.map (fun (_, nxt) -> match nxt with Some s -> s | None -> exit_id)
+        |> List.sort_uniq compare
+      in
+      let meet =
+        match succs with
+        | [] -> IntSet.singleton exit_id
+        | first :: rest ->
+          List.fold_left
+            (fun acc s -> IntSet.inter acc (Hashtbl.find pd s))
+            (Hashtbl.find pd first) rest
+      in
+      Hashtbl.replace pd id (IntSet.add id meet))
+    order;
+  pd
+
+(* The closest strict postdominator: the one with the largest pd set
+   (postdominators of a node form a chain). *)
+let ipostdom pd id =
+  let strict = IntSet.remove id (Hashtbl.find pd id) in
+  IntSet.fold
+    (fun candidate best ->
+      match best with
+      | None -> Some candidate
+      | Some b ->
+        if IntSet.cardinal (Hashtbl.find pd candidate) > IntSet.cardinal (Hashtbl.find pd b)
+        then Some candidate
+        else best)
+    strict None
+  |> function
+  | Some x -> x
+  | None -> raise (Unstructured (Printf.sprintf "node %d has no postdominator" id))
+
+(* --- global action naming --- *)
+
+type naming = {
+  mutable bindings : ((string * string) * string) list;  (* (table, action) -> global *)
+  mutable emitted : (string * P4ir.Action.primitive list) list;  (* global -> body *)
+}
+
+let sanitize name =
+  let buf = Buffer.create (String.length name) in
+  String.iter
+    (fun c ->
+      if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+      then Buffer.add_char buf c
+      else Buffer.add_char buf '_')
+    name;
+  let s = Buffer.contents buf in
+  if s = "" || (s.[0] >= '0' && s.[0] <= '9') then "a" ^ s else s
+
+let global_name naming (tab : P4ir.Table.t) (a : P4ir.Action.t) =
+  match List.assoc_opt (tab.name, a.name) naming.bindings with
+  | Some g -> g
+  | None ->
+    let base = sanitize a.name in
+    let rec pick candidate n =
+      match List.assoc_opt candidate naming.emitted with
+      | None ->
+        naming.emitted <- (candidate, a.prims) :: naming.emitted;
+        candidate
+      | Some body when body = a.prims -> candidate
+      | Some _ -> pick (Printf.sprintf "%s_%d" base n) (n + 1)
+    in
+    let g = pick base 1 in
+    naming.bindings <- ((tab.name, a.name), g) :: naming.bindings;
+    g
+
+(* --- printers --- *)
+
+let pp_primitive buf (p : P4ir.Action.primitive) =
+  match p with
+  | P4ir.Action.Set_field (f, v) ->
+    Buffer.add_string buf (Printf.sprintf "  %s = %Ld;\n" (P4ir.Field.to_string f) v)
+  | P4ir.Action.Set_from (d, s) ->
+    Buffer.add_string buf
+      (Printf.sprintf "  %s = %s;\n" (P4ir.Field.to_string d) (P4ir.Field.to_string s))
+  | P4ir.Action.Add_const (f, v) ->
+    Buffer.add_string buf (Printf.sprintf "  %s += %Ld;\n" (P4ir.Field.to_string f) v)
+  | P4ir.Action.Dec_ttl -> Buffer.add_string buf "  dec_ttl;\n"
+  | P4ir.Action.Forward port -> Buffer.add_string buf (Printf.sprintf "  forward(%d);\n" port)
+  | P4ir.Action.Drop -> Buffer.add_string buf "  drop;\n"
+  | P4ir.Action.Nop -> Buffer.add_string buf "  nop;\n"
+
+let pp_pattern buf (p : P4ir.Pattern.t) =
+  if P4ir.Pattern.is_wildcard p then Buffer.add_string buf "_"
+  else
+    match p with
+    | P4ir.Pattern.Exact v -> Buffer.add_string buf (Printf.sprintf "%Ld" v)
+    | P4ir.Pattern.Lpm (v, len) -> Buffer.add_string buf (Printf.sprintf "%Ld/%d" v len)
+    | P4ir.Pattern.Ternary (v, m) ->
+      Buffer.add_string buf (Printf.sprintf "%Ld &&& %Ld" v m)
+    | P4ir.Pattern.Range (lo, hi) -> Buffer.add_string buf (Printf.sprintf "%Ld..%Ld" lo hi)
+
+let pp_table buf naming (tab : P4ir.Table.t) =
+  Buffer.add_string buf (Printf.sprintf "table %s {\n" (sanitize tab.name));
+  Buffer.add_string buf "  key = {";
+  List.iter
+    (fun (k : P4ir.Table.key) ->
+      Buffer.add_string buf
+        (Printf.sprintf " %s : %s;" (P4ir.Field.to_string k.field)
+           (P4ir.Match_kind.to_string k.kind)))
+    tab.keys;
+  Buffer.add_string buf " }\n";
+  Buffer.add_string buf "  actions = {";
+  List.iter
+    (fun a -> Buffer.add_string buf (Printf.sprintf " %s;" (global_name naming tab a)))
+    tab.actions;
+  Buffer.add_string buf " }\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  default_action = %s;\n"
+       (global_name naming tab (P4ir.Table.find_action_exn tab tab.default_action)));
+  Buffer.add_string buf (Printf.sprintf "  size = %d;\n" tab.max_entries);
+  if tab.entries <> [] then begin
+    Buffer.add_string buf "  entries = {\n";
+    List.iter
+      (fun (e : P4ir.Table.entry) ->
+        Buffer.add_string buf "    (";
+        List.iteri
+          (fun i p ->
+            if i > 0 then Buffer.add_string buf ", ";
+            pp_pattern buf p)
+          e.patterns;
+        Buffer.add_string buf
+          (Printf.sprintf ") -> %s"
+             (global_name naming tab (P4ir.Table.find_action_exn tab e.action)));
+        if e.priority <> 0 then Buffer.add_string buf (Printf.sprintf " priority %d" e.priority);
+        Buffer.add_string buf ";\n")
+      tab.entries;
+    Buffer.add_string buf "  }\n"
+  end;
+  Buffer.add_string buf "}\n\n"
+
+let cmp_to_string = function
+  | P4ir.Program.Eq -> "=="
+  | P4ir.Program.Neq -> "!="
+  | P4ir.Program.Lt -> "<"
+  | P4ir.Program.Gt -> ">"
+  | P4ir.Program.Le -> "<="
+  | P4ir.Program.Ge -> ">="
+
+let emit prog =
+  let pd = postdominators prog in
+  let naming = { bindings = []; emitted = [] } in
+  let control = Buffer.create 512 in
+  let indent n = String.make (2 * n) ' ' in
+  (* Emit the region from [node] up to (excluding) [stop]. *)
+  let rec emit_seq depth node stop =
+    let node_id = match node with Some id -> id | None -> exit_id in
+    if node_id <> stop && node_id <> exit_id then begin
+      match P4ir.Program.find_exn prog node_id with
+      | P4ir.Program.Table (tab, P4ir.Program.Uniform next) ->
+        Buffer.add_string control (Printf.sprintf "%sapply %s;\n" (indent depth) (sanitize tab.name));
+        emit_seq depth next stop
+      | P4ir.Program.Table (tab, P4ir.Program.Per_action branches) ->
+        let merge = ipostdom pd node_id in
+        Buffer.add_string control
+          (Printf.sprintf "%sswitch (%s) {\n" (indent depth) (sanitize tab.name));
+        List.iter
+          (fun (aname, target) ->
+            let target_id = match target with Some id -> id | None -> exit_id in
+            if target_id <> merge then begin
+              Buffer.add_string control
+                (Printf.sprintf "%scase %s: {\n" (indent (depth + 1))
+                   (global_name naming tab (P4ir.Table.find_action_exn tab aname)));
+              emit_seq (depth + 2) target merge;
+              Buffer.add_string control (Printf.sprintf "%s}\n" (indent (depth + 1)))
+            end)
+          branches;
+        Buffer.add_string control (Printf.sprintf "%s}\n" (indent depth));
+        emit_seq depth (if merge = exit_id then None else Some merge) stop
+      | P4ir.Program.Cond c ->
+        let merge = ipostdom pd node_id in
+        Buffer.add_string control
+          (Printf.sprintf "%sif (%s %s %Ld) {\n" (indent depth)
+             (P4ir.Field.to_string c.field) (cmp_to_string c.op) c.arg);
+        emit_seq (depth + 1) c.on_true merge;
+        let false_id = match c.on_false with Some id -> id | None -> exit_id in
+        if false_id <> merge then begin
+          Buffer.add_string control (Printf.sprintf "%s} else {\n" (indent depth));
+          emit_seq (depth + 1) c.on_false merge
+        end;
+        Buffer.add_string control (Printf.sprintf "%s}\n" (indent depth));
+        emit_seq depth (if merge = exit_id then None else Some merge) stop
+    end
+  in
+  emit_seq 1 (P4ir.Program.root prog) exit_id;
+  (* Tables and actions are discovered while emitting the control block
+     (global_name fills the naming tables), but we also need names for
+     tables' own action lists; walk all tables now. *)
+  let tables_buf = Buffer.create 512 in
+  List.iter
+    (fun (_, tab) -> pp_table tables_buf naming tab)
+    (P4ir.Program.tables prog);
+  let actions_buf = Buffer.create 512 in
+  (* naming.emitted is in reverse discovery order. *)
+  List.iter
+    (fun (gname, prims) ->
+      Buffer.add_string actions_buf (Printf.sprintf "action %s {\n" gname);
+      List.iter (fun p -> pp_primitive actions_buf p) prims;
+      Buffer.add_string actions_buf "}\n\n")
+    (List.rev naming.emitted);
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf (Printf.sprintf "program %s;\n\n" (sanitize (P4ir.Program.name prog)));
+  Buffer.add_buffer buf actions_buf;
+  Buffer.add_buffer buf tables_buf;
+  Buffer.add_string buf "control {\n";
+  Buffer.add_buffer buf control;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

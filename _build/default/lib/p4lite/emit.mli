@@ -1,0 +1,18 @@
+(** Emit a {!P4ir.Program} back to P4-lite source (the inverse of
+    {!Lower}), reconstructing structured control flow from the DAG via
+    immediate postdominators.
+
+    Action names are globalized: P4-lite declares actions at top level,
+    so per-table actions are emitted once per distinct (name, body) and
+    renamed when two tables use the same name for different bodies.
+    Fused cache/merge action names are sanitized into identifiers. Table
+    roles (cache / merged provenance) are not representable in the
+    surface syntax and are dropped — emit optimized programs through
+    {!P4ir.Serialize} when provenance matters. *)
+
+exception Unstructured of string
+(** The DAG cannot be expressed with if/switch/apply nesting. Programs
+    produced by {!Lower} and by Pipeleon's transformations always can. *)
+
+val emit : P4ir.Program.t -> string
+(** @raise Unstructured. *)

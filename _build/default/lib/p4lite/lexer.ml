@@ -1,0 +1,188 @@
+type located = { token : Token.t; line : int; col : int }
+
+exception Error of string
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let fail st msg =
+  raise (Error (Printf.sprintf "lex error at line %d, col %d: %s" st.line st.col msg))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+   | Some '\n' ->
+     st.line <- st.line + 1;
+     st.col <- 1
+   | Some _ -> st.col <- st.col + 1
+   | None -> ());
+  st.pos <- st.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let rec skip_trivia st =
+  match (peek st, peek2 st) with
+  | Some (' ' | '\t' | '\r' | '\n'), _ ->
+    advance st;
+    skip_trivia st
+  | Some '/', Some '/' ->
+    while peek st <> None && peek st <> Some '\n' do
+      advance st
+    done;
+    skip_trivia st
+  | Some '/', Some '*' ->
+    advance st;
+    advance st;
+    let rec close () =
+      match (peek st, peek2 st) with
+      | Some '*', Some '/' ->
+        advance st;
+        advance st
+      | Some _, _ ->
+        advance st;
+        close ()
+      | None, _ -> fail st "unterminated block comment"
+    in
+    close ();
+    skip_trivia st
+  | _ -> ()
+
+(* Numbers: decimal, 0x hex, or IPv4 dotted quad (a.b.c.d -> 32-bit). *)
+let lex_number st =
+  let start = st.pos in
+  let take_while pred =
+    let s = st.pos in
+    while (match peek st with Some c -> pred c | None -> false) do
+      advance st
+    done;
+    String.sub st.src s (st.pos - s)
+  in
+  if peek st = Some '0' && (peek2 st = Some 'x' || peek2 st = Some 'X') then begin
+    advance st;
+    advance st;
+    let hex = take_while is_hex in
+    if hex = "" then fail st "empty hex literal";
+    match Int64.of_string_opt ("0x" ^ hex) with
+    | Some v -> Token.Number v
+    | None -> fail st "hex literal out of range"
+  end
+  else begin
+    let first = take_while is_digit in
+    (* Dotted quad: exactly three more ".n" groups, where the next char
+       after each dot is a digit (so "10..20" ranges are not eaten). *)
+    let quad = ref [ first ] in
+    while
+      List.length !quad < 4
+      && peek st = Some '.'
+      && (match peek2 st with Some c -> is_digit c | None -> false)
+    do
+      advance st;
+      quad := take_while is_digit :: !quad
+    done;
+    match !quad with
+    | [ a ] -> (
+      match Int64.of_string_opt a with
+      | Some v -> Token.Number v
+      | None -> fail st "number out of range")
+    | [ d; c; b; a ] ->
+      let octet s =
+        match int_of_string_opt s with
+        | Some v when v >= 0 && v <= 255 -> v
+        | _ -> fail st ("bad IPv4 octet: " ^ s)
+      in
+      let v =
+        Int64.of_int ((octet a lsl 24) lor (octet b lsl 16) lor (octet c lsl 8) lor octet d)
+      in
+      Token.Number v
+    | _ ->
+      st.pos <- start;
+      fail st "malformed dotted number"
+  end
+
+let lex_ident st =
+  let s = st.pos in
+  while
+    (match peek st with Some c -> is_ident_char c | None -> false)
+    (* A dot continues the identifier only when followed by an identifier
+       character, so ".." (range) and trailing dots terminate it. *)
+    || (peek st = Some '.'
+        && match peek2 st with Some c -> is_ident_char c | None -> false)
+  do
+    advance st
+  done;
+  let text = String.sub st.src s (st.pos - s) in
+  if String.equal text "_" then Token.Underscore
+  else
+    match Token.keyword_of_string text with Some kw -> kw | None -> Token.Ident text
+
+let next_token st =
+  skip_trivia st;
+  let line = st.line and col = st.col in
+  let tok =
+    match peek st with
+    | None -> Token.Eof
+    | Some c when is_digit c -> lex_number st
+    | Some c when is_ident_start c -> lex_ident st
+    | Some '{' -> advance st; Token.Lbrace
+    | Some '}' -> advance st; Token.Rbrace
+    | Some '(' -> advance st; Token.Lparen
+    | Some ')' -> advance st; Token.Rparen
+    | Some ';' -> advance st; Token.Semi
+    | Some ':' -> advance st; Token.Colon
+    | Some ',' -> advance st; Token.Comma
+    | Some '/' -> advance st; Token.Slash
+    | Some '-' ->
+      advance st;
+      if peek st = Some '>' then begin advance st; Token.Arrow end
+      else fail st "expected '->'"
+    | Some '+' ->
+      advance st;
+      if peek st = Some '=' then begin advance st; Token.Plus_assign end
+      else fail st "expected '+='"
+    | Some '&' ->
+      advance st;
+      if peek st = Some '&' && peek2 st = Some '&' then begin
+        advance st;
+        advance st;
+        Token.Amp3
+      end
+      else fail st "expected '&&&'"
+    | Some '.' ->
+      advance st;
+      if peek st = Some '.' then begin advance st; Token.Dotdot end
+      else fail st "expected '..'"
+    | Some '=' ->
+      advance st;
+      if peek st = Some '=' then begin advance st; Token.Eq end else Token.Assign
+    | Some '!' ->
+      advance st;
+      if peek st = Some '=' then begin advance st; Token.Neq end
+      else fail st "expected '!='"
+    | Some '<' ->
+      advance st;
+      if peek st = Some '=' then begin advance st; Token.Le end else Token.Lt
+    | Some '>' ->
+      advance st;
+      if peek st = Some '=' then begin advance st; Token.Ge end else Token.Gt
+    | Some c -> fail st (Printf.sprintf "unexpected character %C" c)
+  in
+  { token = tok; line; col }
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1; col = 1 } in
+  let rec go acc =
+    let t = next_token st in
+    if t.token = Token.Eof then List.rev (t :: acc) else go (t :: acc)
+  in
+  go []

@@ -1,0 +1,13 @@
+(** Lexer for the P4-lite surface language.
+
+    Supports `//` line comments and `/* */` block comments, decimal and
+    hex numbers, IPv4 dotted quads (lexed as one [Number]), and dotted
+    identifiers ([ipv4.src], [meta.3]). *)
+
+type located = { token : Token.t; line : int; col : int }
+
+exception Error of string
+(** Message includes line and column. *)
+
+val tokenize : string -> located list
+(** The whole input, ending with an [Eof] token. @raise Error. *)

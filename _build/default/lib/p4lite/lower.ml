@@ -1,0 +1,190 @@
+exception Error of string
+
+let fail line msg = raise (Error (Printf.sprintf "lowering error at line %d: %s" line msg))
+
+let field_of line name =
+  match P4ir.Field.of_string name with
+  | f -> f
+  | exception Invalid_argument _ -> fail line ("unknown field: " ^ name)
+
+let lower_primitive line (p : Ast.primitive) : P4ir.Action.primitive =
+  match p with
+  | Ast.Set_const (f, v) -> P4ir.Action.Set_field (field_of line f, v)
+  | Ast.Set_copy (dst, src) -> P4ir.Action.Set_from (field_of line dst, field_of line src)
+  | Ast.Add_const (f, v) -> P4ir.Action.Add_const (field_of line f, v)
+  | Ast.Dec_ttl -> P4ir.Action.Dec_ttl
+  | Ast.Forward port -> P4ir.Action.Forward port
+  | Ast.Drop -> P4ir.Action.Drop
+  | Ast.Nop -> P4ir.Action.Nop
+
+let lower_action (a : Ast.action_decl) =
+  P4ir.Action.make a.a_name (List.map (lower_primitive a.a_line) a.a_body)
+
+let kind_of line s =
+  match P4ir.Match_kind.of_string s with
+  | k -> k
+  | exception Invalid_argument _ -> fail line ("unknown match kind: " ^ s)
+
+let lower_pattern line (kind : P4ir.Match_kind.t) (p : Ast.pattern) : P4ir.Pattern.t =
+  match (p, kind) with
+  | Ast.P_wild, P4ir.Match_kind.Exact -> fail line "'_' is not allowed for an exact key"
+  | Ast.P_wild, k -> P4ir.Pattern.wildcard k
+  | Ast.P_exact v, P4ir.Match_kind.Exact -> P4ir.Pattern.Exact v
+  | Ast.P_exact v, P4ir.Match_kind.Lpm ->
+    (* A bare value on an LPM key means a host route (full prefix). *)
+    P4ir.Pattern.Lpm (v, 32)
+  | Ast.P_exact v, P4ir.Match_kind.Ternary -> P4ir.Pattern.Ternary (v, Int64.minus_one)
+  | Ast.P_exact v, P4ir.Match_kind.Range -> P4ir.Pattern.Range (v, v)
+  | Ast.P_lpm (v, len), P4ir.Match_kind.Lpm -> P4ir.Pattern.Lpm (v, len)
+  | Ast.P_ternary (v, m), P4ir.Match_kind.Ternary -> P4ir.Pattern.Ternary (v, m)
+  | Ast.P_range (lo, hi), P4ir.Match_kind.Range -> P4ir.Pattern.Range (lo, hi)
+  | (Ast.P_lpm _ | Ast.P_ternary _ | Ast.P_range _), k ->
+    fail line
+      (Printf.sprintf "pattern does not fit a %s key" (P4ir.Match_kind.to_string k))
+
+let lower_table actions (t : Ast.table_decl) =
+  let keys =
+    List.map
+      (fun (k : Ast.key_decl) ->
+        P4ir.Table.key (field_of k.k_line k.k_field) (kind_of k.k_line k.k_kind))
+      t.t_keys
+  in
+  let resolve name =
+    match List.find_opt (fun (a : P4ir.Action.t) -> String.equal a.name name) actions with
+    | Some a -> a
+    | None -> fail t.t_line ("unknown action: " ^ name)
+  in
+  let table_actions = List.map resolve t.t_actions in
+  if table_actions = [] then fail t.t_line ("table " ^ t.t_name ^ " has no actions");
+  let default =
+    match t.t_default with
+    | Some d ->
+      if not (List.mem d t.t_actions) then
+        fail t.t_line ("default_action " ^ d ^ " is not among the table's actions");
+      d
+    | None -> (List.hd table_actions).P4ir.Action.name
+  in
+  let entries =
+    List.map
+      (fun (e : Ast.entry_decl) ->
+        if List.length e.e_patterns <> List.length keys then
+          fail e.e_line "entry arity does not match the key";
+        let patterns =
+          List.map2
+            (fun (k : P4ir.Table.key) p -> lower_pattern e.e_line k.kind p)
+            keys e.e_patterns
+        in
+        P4ir.Table.entry ~priority:e.e_priority patterns e.e_action)
+      t.t_entries
+  in
+  match
+    P4ir.Table.make ~name:t.t_name ~keys ~actions:table_actions ~default_action:default
+      ?max_entries:t.t_size ~entries ()
+  with
+  | tab -> tab
+  | exception Invalid_argument msg -> fail t.t_line msg
+
+let cmp_of = function
+  | Ast.C_eq -> P4ir.Program.Eq
+  | Ast.C_neq -> P4ir.Program.Neq
+  | Ast.C_lt -> P4ir.Program.Lt
+  | Ast.C_gt -> P4ir.Program.Gt
+  | Ast.C_le -> P4ir.Program.Le
+  | Ast.C_ge -> P4ir.Program.Ge
+
+let lower (p : Ast.program) =
+  let actions = List.map lower_action p.p_actions in
+  (match
+     List.sort_uniq compare (List.map (fun (a : P4ir.Action.t) -> a.name) actions)
+   with
+   | names when List.length names <> List.length actions ->
+     raise (Error "duplicate action names")
+   | _ -> ());
+  let tables = List.map (lower_table actions) p.p_tables in
+  let find_table line name =
+    match List.find_opt (fun (t : P4ir.Table.t) -> String.equal t.name name) tables with
+    | Some t -> t
+    | None -> fail line ("unknown table: " ^ name)
+  in
+  let applied = Hashtbl.create 16 in
+  let mark_applied line name =
+    if Hashtbl.mem applied name then fail line ("table applied more than once: " ^ name);
+    Hashtbl.replace applied name ()
+  in
+  let cond_counter = ref 0 in
+  (* Lower statements back to front: each statement receives its
+     continuation and yields its entry node. *)
+  let rec lower_block prog stmts (next : P4ir.Program.next) =
+    List.fold_left
+      (fun (prog, next) stmt -> lower_statement prog stmt next)
+      (prog, next) (List.rev stmts)
+  and lower_statement prog (stmt : Ast.statement) next =
+    match stmt with
+    | Ast.Apply (name, line) ->
+      mark_applied line name;
+      let tab = find_table line name in
+      let prog, id =
+        P4ir.Program.add_node prog (P4ir.Program.Table (tab, P4ir.Program.Uniform next))
+      in
+      (prog, Some id)
+    | Ast.If (c, then_block, else_block) ->
+      let prog, then_entry = lower_block prog then_block next in
+      let prog, else_entry = lower_block prog else_block next in
+      incr cond_counter;
+      let cond =
+        { P4ir.Program.cond_name = Printf.sprintf "if_l%d_%d" c.c_line !cond_counter;
+          field = field_of c.c_line c.c_field;
+          op = cmp_of c.c_op;
+          arg = c.c_value;
+          on_true = then_entry;
+          on_false = else_entry }
+      in
+      let prog, id = P4ir.Program.add_node prog (P4ir.Program.Cond cond) in
+      (prog, Some id)
+    | Ast.Switch (name, cases, default, line) ->
+      mark_applied line name;
+      let tab = find_table line name in
+      let prog, default_entry =
+        match default with
+        | Some block -> lower_block prog block next
+        | None -> (prog, next)
+      in
+      let prog, case_entries =
+        List.fold_left
+          (fun (prog, acc) (action, block) ->
+            if P4ir.Table.find_action tab action = None then
+              fail line ("case on unknown action: " ^ action);
+            let prog, entry = lower_block prog block next in
+            (prog, (action, entry) :: acc))
+          (prog, []) cases
+      in
+      let branches =
+        List.map
+          (fun (a : P4ir.Action.t) ->
+            match List.assoc_opt a.name case_entries with
+            | Some entry -> (a.name, entry)
+            | None -> (a.name, default_entry))
+          tab.P4ir.Table.actions
+      in
+      let prog, id =
+        P4ir.Program.add_node prog (P4ir.Program.Table (tab, P4ir.Program.Per_action branches))
+      in
+      (prog, Some id)
+  in
+  let prog, root = lower_block (P4ir.Program.empty p.p_name) p.p_control None in
+  let prog = P4ir.Program.with_root prog root in
+  (match P4ir.Program.validate prog with
+   | Ok () -> ()
+   | Error msg -> raise (Error ("lowered program is invalid: " ^ msg)));
+  prog
+
+let parse_program src = lower (Parser.parse src)
+
+let load_file path =
+  let ic = open_in path in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  parse_program content

@@ -1,0 +1,307 @@
+exception Error of string
+
+type state = { mutable toks : Lexer.located list }
+
+let fail (t : Lexer.located) msg =
+  raise (Error (Printf.sprintf "parse error at line %d: %s (found %s)" t.line msg
+                  (Token.to_string t.token)))
+
+let peek st = match st.toks with t :: _ -> t | [] -> assert false
+
+let advance st =
+  match st.toks with
+  | _ :: ([ _ ] as rest) | _ :: (_ :: _ as rest) -> st.toks <- rest
+  | _ -> ()
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let expect st tok msg =
+  let t = next st in
+  if t.token <> tok then fail t msg
+
+let ident st =
+  match next st with
+  | { token = Token.Ident s; _ } -> s
+  | t -> fail t "expected identifier"
+
+let number st =
+  match next st with
+  | { token = Token.Number n; _ } -> n
+  | t -> fail t "expected number"
+
+(* --- actions --- *)
+
+let parse_primitive st =
+  let t = peek st in
+  match t.token with
+  | Token.Kw_drop ->
+    advance st;
+    expect st Token.Semi "expected ';'";
+    Ast.Drop
+  | Token.Kw_nop ->
+    advance st;
+    expect st Token.Semi "expected ';'";
+    Ast.Nop
+  | Token.Kw_dec_ttl ->
+    advance st;
+    expect st Token.Semi "expected ';'";
+    Ast.Dec_ttl
+  | Token.Kw_forward ->
+    advance st;
+    expect st Token.Lparen "expected '('";
+    let port = Int64.to_int (number st) in
+    expect st Token.Rparen "expected ')'";
+    expect st Token.Semi "expected ';'";
+    Ast.Forward port
+  | Token.Ident field -> (
+    advance st;
+    match next st with
+    | { token = Token.Assign; _ } -> (
+      match next st with
+      | { token = Token.Number v; _ } ->
+        expect st Token.Semi "expected ';'";
+        Ast.Set_const (field, v)
+      | { token = Token.Ident src; _ } ->
+        expect st Token.Semi "expected ';'";
+        Ast.Set_copy (field, src)
+      | t -> fail t "expected number or field after '='")
+    | { token = Token.Plus_assign; _ } ->
+      let v = number st in
+      expect st Token.Semi "expected ';'";
+      Ast.Add_const (field, v)
+    | t -> fail t "expected '=' or '+='")
+  | _ -> fail t "expected a primitive"
+
+let parse_action st =
+  let t = peek st in
+  expect st Token.Kw_action "expected 'action'";
+  let name = ident st in
+  expect st Token.Lbrace "expected '{'";
+  let body = ref [] in
+  while (peek st).token <> Token.Rbrace do
+    body := parse_primitive st :: !body
+  done;
+  expect st Token.Rbrace "expected '}'";
+  { Ast.a_name = name; a_body = List.rev !body; a_line = t.line }
+
+(* --- tables --- *)
+
+let parse_pattern st =
+  match next st with
+  | { token = Token.Underscore; _ } -> Ast.P_wild
+  | { token = Token.Number v; _ } -> (
+    match (peek st).token with
+    | Token.Slash ->
+      advance st;
+      Ast.P_lpm (v, Int64.to_int (number st))
+    | Token.Amp3 ->
+      advance st;
+      Ast.P_ternary (v, number st)
+    | Token.Dotdot ->
+      advance st;
+      Ast.P_range (v, number st)
+    | _ -> Ast.P_exact v)
+  | t -> fail t "expected a pattern"
+
+let parse_entry st =
+  let line = (peek st).line in
+  expect st Token.Lparen "expected '('";
+  let pats = ref [ parse_pattern st ] in
+  while (peek st).token = Token.Comma do
+    advance st;
+    pats := parse_pattern st :: !pats
+  done;
+  expect st Token.Rparen "expected ')'";
+  expect st Token.Arrow "expected '->'";
+  let action = ident st in
+  let priority =
+    if (peek st).token = Token.Kw_priority then begin
+      advance st;
+      Int64.to_int (number st)
+    end
+    else 0
+  in
+  expect st Token.Semi "expected ';'";
+  { Ast.e_patterns = List.rev !pats; e_action = action; e_priority = priority; e_line = line }
+
+let parse_table st =
+  let t0 = peek st in
+  expect st Token.Kw_table "expected 'table'";
+  let name = ident st in
+  expect st Token.Lbrace "expected '{'";
+  let keys = ref [] in
+  let actions = ref [] in
+  let default = ref None in
+  let size = ref None in
+  let entries = ref [] in
+  let rec items () =
+    match (peek st).token with
+    | Token.Rbrace -> ()
+    | Token.Kw_key ->
+      advance st;
+      expect st Token.Assign "expected '='";
+      expect st Token.Lbrace "expected '{'";
+      while (peek st).token <> Token.Rbrace do
+        let line = (peek st).line in
+        let field = ident st in
+        expect st Token.Colon "expected ':'";
+        let kind = ident st in
+        expect st Token.Semi "expected ';'";
+        keys := { Ast.k_field = field; k_kind = kind; k_line = line } :: !keys
+      done;
+      expect st Token.Rbrace "expected '}'";
+      items ()
+    | Token.Kw_actions ->
+      advance st;
+      expect st Token.Assign "expected '='";
+      expect st Token.Lbrace "expected '{'";
+      while (peek st).token <> Token.Rbrace do
+        let a = ident st in
+        expect st Token.Semi "expected ';'";
+        actions := a :: !actions
+      done;
+      expect st Token.Rbrace "expected '}'";
+      items ()
+    | Token.Kw_default_action ->
+      advance st;
+      expect st Token.Assign "expected '='";
+      default := Some (ident st);
+      expect st Token.Semi "expected ';'";
+      items ()
+    | Token.Kw_size ->
+      advance st;
+      expect st Token.Assign "expected '='";
+      size := Some (Int64.to_int (number st));
+      expect st Token.Semi "expected ';'";
+      items ()
+    | Token.Kw_entries ->
+      advance st;
+      expect st Token.Assign "expected '='";
+      expect st Token.Lbrace "expected '{'";
+      while (peek st).token <> Token.Rbrace do
+        entries := parse_entry st :: !entries
+      done;
+      expect st Token.Rbrace "expected '}'";
+      items ()
+    | _ -> fail (peek st) "expected a table item"
+  in
+  items ();
+  expect st Token.Rbrace "expected '}'";
+  { Ast.t_name = name;
+    t_keys = List.rev !keys;
+    t_actions = List.rev !actions;
+    t_default = !default;
+    t_size = !size;
+    t_entries = List.rev !entries;
+    t_line = t0.line }
+
+(* --- control --- *)
+
+let cmp_of_token = function
+  | Token.Eq -> Some Ast.C_eq
+  | Token.Neq -> Some Ast.C_neq
+  | Token.Lt -> Some Ast.C_lt
+  | Token.Gt -> Some Ast.C_gt
+  | Token.Le -> Some Ast.C_le
+  | Token.Ge -> Some Ast.C_ge
+  | _ -> None
+
+let rec parse_statement st =
+  let t = peek st in
+  match t.token with
+  | Token.Kw_apply ->
+    advance st;
+    let name = ident st in
+    expect st Token.Semi "expected ';'";
+    Ast.Apply (name, t.line)
+  | Token.Kw_if ->
+    advance st;
+    expect st Token.Lparen "expected '('";
+    let field = ident st in
+    let op =
+      match cmp_of_token (next st).token with
+      | Some op -> op
+      | None -> fail t "expected comparison operator"
+    in
+    let value = number st in
+    expect st Token.Rparen "expected ')'";
+    let then_block = parse_block st in
+    let else_block =
+      if (peek st).token = Token.Kw_else then begin
+        advance st;
+        parse_block st
+      end
+      else []
+    in
+    Ast.If ({ Ast.c_field = field; c_op = op; c_value = value; c_line = t.line },
+            then_block, else_block)
+  | Token.Kw_switch ->
+    advance st;
+    expect st Token.Lparen "expected '('";
+    let table = ident st in
+    expect st Token.Rparen "expected ')'";
+    expect st Token.Lbrace "expected '{'";
+    let cases = ref [] in
+    let default = ref None in
+    let rec go () =
+      match (peek st).token with
+      | Token.Kw_case ->
+        advance st;
+        let a = ident st in
+        expect st Token.Colon "expected ':'";
+        cases := (a, parse_block st) :: !cases;
+        go ()
+      | Token.Kw_default ->
+        advance st;
+        expect st Token.Colon "expected ':'";
+        default := Some (parse_block st);
+        go ()
+      | Token.Rbrace -> ()
+      | _ -> fail (peek st) "expected 'case', 'default' or '}'"
+    in
+    go ();
+    expect st Token.Rbrace "expected '}'";
+    Ast.Switch (table, List.rev !cases, !default, t.line)
+  | _ -> fail t "expected a statement"
+
+and parse_block st =
+  expect st Token.Lbrace "expected '{'";
+  let stmts = ref [] in
+  while (peek st).token <> Token.Rbrace do
+    stmts := parse_statement st :: !stmts
+  done;
+  expect st Token.Rbrace "expected '}'";
+  List.rev !stmts
+
+let parse src =
+  let st =
+    try { toks = Lexer.tokenize src } with Lexer.Error msg -> raise (Error msg)
+  in
+  expect st Token.Kw_program "expected 'program'";
+  let name = ident st in
+  expect st Token.Semi "expected ';'";
+  let actions = ref [] in
+  let tables = ref [] in
+  let rec decls () =
+    match (peek st).token with
+    | Token.Kw_action ->
+      actions := parse_action st :: !actions;
+      decls ()
+    | Token.Kw_table ->
+      tables := parse_table st :: !tables;
+      decls ()
+    | _ -> ()
+  in
+  decls ();
+  expect st Token.Kw_control "expected 'control'";
+  let control = parse_block st in
+  (match (peek st).token with
+   | Token.Eof -> ()
+   | _ -> fail (peek st) "trailing input after control block");
+  { Ast.p_name = name;
+    p_actions = List.rev !actions;
+    p_tables = List.rev !tables;
+    p_control = control }

@@ -1,0 +1,31 @@
+(** Recursive-descent parser for P4-lite.
+
+    Grammar sketch:
+    {v
+    program    ::= "program" ident ";" (action | table)* control
+    action     ::= "action" ident "{" primitive* "}"
+    primitive  ::= field "=" (number | field) ";"
+                 | field "+=" number ";"
+                 | "dec_ttl" ";" | "drop" ";" | "nop" ";"
+                 | "forward" "(" number ")" ";"
+    table      ::= "table" ident "{" table_item* "}"
+    table_item ::= "key" "=" "{" (field ":" kind ";")* "}"
+                 | "actions" "=" "{" (ident ";")* "}"
+                 | "default_action" "=" ident ";"
+                 | "size" "=" number ";"
+                 | "entries" "=" "{" entry* "}"
+    entry      ::= "(" pattern ("," pattern)* ")" "->" ident
+                   ["priority" number] ";"
+    pattern    ::= number | number "/" number | number "&&&" number
+                 | number ".." number | "_"
+    control    ::= "control" "{" stmt* "}"
+    stmt       ::= "apply" ident ";"
+                 | "if" "(" field cmp number ")" block ["else" block]
+                 | "switch" "(" ident ")" "{" ("case" ident ":" block)*
+                   ["default" ":" block] "}"
+    v} *)
+
+exception Error of string
+
+val parse : string -> Ast.program
+(** @raise Error with a line-located message. *)

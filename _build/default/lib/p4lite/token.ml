@@ -1,0 +1,114 @@
+(* Tokens of the P4-lite surface language. *)
+
+type t =
+  | Ident of string  (* possibly dotted: ipv4.src, meta.3 *)
+  | Number of int64
+  | Kw_program
+  | Kw_action
+  | Kw_table
+  | Kw_control
+  | Kw_key
+  | Kw_actions
+  | Kw_default_action
+  | Kw_size
+  | Kw_entries
+  | Kw_apply
+  | Kw_if
+  | Kw_else
+  | Kw_switch
+  | Kw_case
+  | Kw_default
+  | Kw_priority
+  | Kw_drop
+  | Kw_forward
+  | Kw_dec_ttl
+  | Kw_nop
+  | Lbrace
+  | Rbrace
+  | Lparen
+  | Rparen
+  | Semi
+  | Colon
+  | Comma
+  | Arrow  (* -> *)
+  | Assign  (* = *)
+  | Plus_assign  (* += *)
+  | Amp3  (* &&& *)
+  | Dotdot  (* .. *)
+  | Slash
+  | Underscore
+  | Eq  (* == *)
+  | Neq
+  | Lt
+  | Gt
+  | Le
+  | Ge
+  | Eof
+
+let keyword_of_string = function
+  | "program" -> Some Kw_program
+  | "action" -> Some Kw_action
+  | "table" -> Some Kw_table
+  | "control" -> Some Kw_control
+  | "key" -> Some Kw_key
+  | "actions" -> Some Kw_actions
+  | "default_action" -> Some Kw_default_action
+  | "size" -> Some Kw_size
+  | "entries" -> Some Kw_entries
+  | "apply" -> Some Kw_apply
+  | "if" -> Some Kw_if
+  | "else" -> Some Kw_else
+  | "switch" -> Some Kw_switch
+  | "case" -> Some Kw_case
+  | "default" -> Some Kw_default
+  | "priority" -> Some Kw_priority
+  | "drop" -> Some Kw_drop
+  | "forward" -> Some Kw_forward
+  | "dec_ttl" -> Some Kw_dec_ttl
+  | "nop" -> Some Kw_nop
+  | _ -> None
+
+let to_string = function
+  | Ident s -> s
+  | Number n -> Int64.to_string n
+  | Kw_program -> "program"
+  | Kw_action -> "action"
+  | Kw_table -> "table"
+  | Kw_control -> "control"
+  | Kw_key -> "key"
+  | Kw_actions -> "actions"
+  | Kw_default_action -> "default_action"
+  | Kw_size -> "size"
+  | Kw_entries -> "entries"
+  | Kw_apply -> "apply"
+  | Kw_if -> "if"
+  | Kw_else -> "else"
+  | Kw_switch -> "switch"
+  | Kw_case -> "case"
+  | Kw_default -> "default"
+  | Kw_priority -> "priority"
+  | Kw_drop -> "drop"
+  | Kw_forward -> "forward"
+  | Kw_dec_ttl -> "dec_ttl"
+  | Kw_nop -> "nop"
+  | Lbrace -> "{"
+  | Rbrace -> "}"
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Semi -> ";"
+  | Colon -> ":"
+  | Comma -> ","
+  | Arrow -> "->"
+  | Assign -> "="
+  | Plus_assign -> "+="
+  | Amp3 -> "&&&"
+  | Dotdot -> ".."
+  | Slash -> "/"
+  | Underscore -> "_"
+  | Eq -> "=="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Gt -> ">"
+  | Le -> "<="
+  | Ge -> ">="
+  | Eof -> "<eof>"

@@ -1,0 +1,1 @@
+lib/profile/profile.ml: Counter Counter_map Format Int64 List Map P4ir Printf String

@@ -1,0 +1,1 @@
+lib/profile/profile.mli: Counter Counter_map Format P4ir

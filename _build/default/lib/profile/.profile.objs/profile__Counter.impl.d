@@ -1,0 +1,1 @@
+lib/profile/counter.ml: Hashtbl Int64 List String

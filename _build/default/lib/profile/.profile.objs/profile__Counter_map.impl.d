@@ -1,0 +1,1 @@
+lib/profile/counter_map.ml: Counter Fun Int64 List Option P4ir String

@@ -1,0 +1,1 @@
+lib/profile/counter_map.mli: Counter P4ir

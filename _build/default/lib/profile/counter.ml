@@ -1,0 +1,43 @@
+type key = { owner : string; label : string }
+
+type t = (key, int64 ref) Hashtbl.t
+
+let create () : t = Hashtbl.create 64
+let clear = Hashtbl.reset
+
+let incr ?(by = 1L) t ~owner ~label =
+  let k = { owner; label } in
+  match Hashtbl.find_opt t k with
+  | Some r -> r := Int64.add !r by
+  | None -> Hashtbl.add t k (ref by)
+
+let get t ~owner ~label =
+  match Hashtbl.find_opt t { owner; label } with Some r -> !r | None -> 0L
+
+let owner_total t owner =
+  Hashtbl.fold
+    (fun k r acc -> if String.equal k.owner owner then Int64.add acc !r else acc)
+    t 0L
+
+let dump t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t []
+  |> List.filter (fun (_, v) -> not (Int64.equal v 0L))
+  |> List.sort (fun (a, _) (b, _) -> compare (a.owner, a.label) (b.owner, b.label))
+
+let merge_into ~dst ~src =
+  Hashtbl.iter (fun k r -> incr ~by:!r dst ~owner:k.owner ~label:k.label) src
+
+let snapshot t =
+  let copy = create () in
+  merge_into ~dst:copy ~src:t;
+  copy
+
+let diff ~current ~baseline =
+  let result = create () in
+  Hashtbl.iter
+    (fun k r ->
+      let base = match Hashtbl.find_opt baseline k with Some b -> !b | None -> 0L in
+      let d = Int64.sub !r base in
+      if Int64.compare d 0L > 0 then incr ~by:d result ~owner:k.owner ~label:k.label)
+    current;
+  result

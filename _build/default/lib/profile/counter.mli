@@ -1,0 +1,29 @@
+(** P4-style counters used for runtime profiling (§4.1.2).
+
+    Pipeleon instruments every conditional branch and table action with a
+    counter; the simulator increments them as packets execute. Counters
+    are keyed by (owner name, label) where the owner is a table or branch
+    name — names survive program rewrites, node ids do not. *)
+
+type t
+
+type key = { owner : string; label : string }
+
+val create : unit -> t
+val clear : t -> unit
+val incr : ?by:int64 -> t -> owner:string -> label:string -> unit
+val get : t -> owner:string -> label:string -> int64
+val owner_total : t -> string -> int64
+(** Sum over all labels of one owner. *)
+
+val dump : t -> (key * int64) list
+(** All nonzero counters, sorted by owner then label. *)
+
+val merge_into : dst:t -> src:t -> unit
+(** Add all of [src]'s counts into [dst]. *)
+
+val snapshot : t -> t
+(** Deep copy, so a profiling window can be diffed against a baseline. *)
+
+val diff : current:t -> baseline:t -> t
+(** Per-key [current - baseline] (clamped at zero). *)

@@ -1,0 +1,1 @@
+lib/runtime/controller.ml: Costmodel Float Hashtbl Int64 List Monitor Nicsim P4ir Pipeleon Profile

@@ -1,0 +1,1 @@
+lib/runtime/controller.mli: Monitor Nicsim P4ir Pipeleon Profile

@@ -1,0 +1,1 @@
+lib/runtime/incremental.ml: Format List P4ir

@@ -1,0 +1,1 @@
+lib/runtime/incremental.mli: Format P4ir

@@ -1,0 +1,1 @@
+lib/runtime/monitor.ml: Format List P4ir Pipeleon Profile

@@ -1,0 +1,1 @@
+lib/runtime/monitor.mli: Format P4ir Profile

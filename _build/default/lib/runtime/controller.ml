@@ -1,0 +1,203 @@
+type deploy_mode = Full | Incremental
+
+type config = {
+  optimizer : Pipeleon.Optimizer.config;
+  reconfig_downtime : float;
+  min_relative_gain : float;
+  deploy_mode : deploy_mode;
+}
+
+let default_config =
+  { optimizer = Pipeleon.Optimizer.default_config;
+    reconfig_downtime = 0.;
+    min_relative_gain = 0.03;
+    deploy_mode = Full }
+
+type t = {
+  cfg : config;
+  simulator : Nicsim.Sim.t;
+  mutable original : P4ir.Program.t;
+  mutable deployed : P4ir.Program.t;
+  mutable gen : int;
+  mutable baseline : Profile.Counter.t;
+  update_counts : (string, int) Hashtbl.t;
+  mutable last_tick : float;
+  locality_memory : (string, float) Hashtbl.t;
+      (* last believed flow-cache hit rate per original table; decays back
+         toward the default so caching is retried after traffic shifts *)
+}
+
+let create ?(config = default_config) simulator ~original =
+  { cfg = config;
+    simulator;
+    original;
+    deployed = Nicsim.Exec.program (Nicsim.Sim.exec simulator);
+    gen = 0;
+    baseline = Profile.Counter.create ();
+    update_counts = Hashtbl.create 16;
+    last_tick = Nicsim.Sim.now simulator;
+    locality_memory = Hashtbl.create 16 }
+
+let sim t = t.simulator
+let original_program t = t.original
+let deployed_program t = t.deployed
+let generation t = t.gen
+
+let count_update t table =
+  let cur = match Hashtbl.find_opt t.update_counts table with Some n -> n | None -> 0 in
+  Hashtbl.replace t.update_counts table (cur + 1)
+
+let node_id_of t table =
+  match P4ir.Program.find_table t.original table with
+  | Some (id, _) -> id
+  | None -> invalid_arg ("Controller: unknown original table " ^ table)
+
+let run_ops t ops =
+  let ex = Nicsim.Sim.exec t.simulator in
+  List.iter
+    (fun (op : Pipeleon.Api_map.op) ->
+      match op with
+      | Pipeleon.Api_map.Direct { table; insert = true; entry } ->
+        Nicsim.Sim.insert t.simulator ~table entry
+      | Pipeleon.Api_map.Direct { table; insert = false; entry } ->
+        ignore (Nicsim.Sim.delete t.simulator ~table ~patterns:entry.patterns)
+      | Pipeleon.Api_map.Rebuild { table; entries } ->
+        Nicsim.Engine.replace_all (Nicsim.Exec.engine_exn ex table) entries
+      | Pipeleon.Api_map.Invalidate table ->
+        Nicsim.Engine.invalidate (Nicsim.Exec.engine_exn ex table))
+    ops
+
+let insert t ~table entry =
+  let id = node_id_of t table in
+  t.original <- P4ir.Program.update_table t.original id (fun tab -> P4ir.Table.add_entry tab entry);
+  count_update t table;
+  run_ops t
+    (Pipeleon.Api_map.map_insert ~original:t.original ~optimized:t.deployed ~table entry)
+
+let delete t ~table entry =
+  let id = node_id_of t table in
+  t.original <-
+    P4ir.Program.update_table t.original id (fun tab ->
+        { tab with
+          P4ir.Table.entries =
+            List.filter
+              (fun (e : P4ir.Table.entry) ->
+                not (List.for_all2 P4ir.Pattern.equal e.patterns entry.P4ir.Table.patterns))
+              tab.P4ir.Table.entries });
+  count_update t table;
+  run_ops t
+    (Pipeleon.Api_map.map_delete ~original:t.original ~optimized:t.deployed ~table entry)
+
+type tick_report = {
+  reoptimized : bool;
+  predicted_gain : float;
+  issues : Monitor.issue list;
+  profile : Profile.t;
+  search_seconds : float;
+}
+
+(* Observed flow-cache hit rates, per covered original table — but only
+   from caches whose covered tables saw no entry updates this window:
+   misses caused by invalidation say nothing about traffic locality, and
+   would wrongly poison every table the cache happened to cover. *)
+let observed_localities ~deployed ~prof_opt ~prof_orig =
+  List.concat_map
+    (fun (_, (tab : P4ir.Table.t)) ->
+      match tab.role with
+      | P4ir.Table.Cache meta when meta.auto_insert -> (
+        let covered_updates =
+          List.fold_left
+            (fun acc name -> acc +. Profile.update_rate prof_orig ~table_name:name)
+            0. meta.cached_tables
+        in
+        if covered_updates > 0. then []
+        else
+          match Profile.table_stats prof_opt tab.name with
+          | Some stats ->
+            let miss =
+              match List.assoc_opt tab.default_action stats.Profile.action_probs with
+              | Some p -> p
+              | None -> 1.
+            in
+            List.map (fun name -> (name, 1. -. miss)) meta.cached_tables
+          | None -> [])
+      | _ -> [])
+    (P4ir.Program.tables deployed)
+
+(* Locality beliefs persist across layout changes (a removed cache stops
+   producing observations) and decay toward the planning default so
+   caching is re-tried once stale pessimism has faded. *)
+let locality_decay = 0.25
+
+let remember_localities t ~observations ~default =
+  List.iter
+    (fun (name, hit) -> Hashtbl.replace t.locality_memory name hit)
+    observations;
+  let observed = List.map fst observations in
+  Hashtbl.iter
+    (fun name current ->
+      if not (List.mem name observed) then
+        Hashtbl.replace t.locality_memory name
+          (current +. (locality_decay *. (default -. current))))
+    (Hashtbl.copy t.locality_memory)
+
+let apply_locality_memory t prof =
+  Hashtbl.fold
+    (fun name locality prof ->
+      match Profile.table_stats prof name with
+      | Some s -> Profile.set_table name { s with Profile.locality } prof
+      | None -> prof)
+    t.locality_memory prof
+
+let deploy t program =
+  (match t.cfg.deploy_mode with
+   | Full ->
+     Nicsim.Sim.reconfigure ~downtime:t.cfg.reconfig_downtime t.simulator program;
+     t.baseline <- Profile.Counter.create ()
+   | Incremental ->
+     (* Interruption proportional to the share of tables rebuilt; the
+        counters and unchanged caches survive the patch. *)
+     let total =
+       max 1 (List.length (P4ir.Program.tables program))
+     in
+     let per_table = t.cfg.reconfig_downtime /. float_of_int total in
+     ignore (Nicsim.Sim.hot_patch ~downtime_per_table:per_table t.simulator program));
+  t.deployed <- program;
+  t.gen <- t.gen + 1
+
+let tick t =
+  let now = Nicsim.Sim.now t.simulator in
+  let window = Float.max 1e-9 (now -. t.last_tick) in
+  t.last_tick <- now;
+  let target = Nicsim.Sim.target t.simulator in
+  let current = Nicsim.Exec.counters (Nicsim.Sim.exec t.simulator) in
+  let delta = Profile.Counter.diff ~current ~baseline:t.baseline in
+  t.baseline <- Profile.Counter.snapshot current;
+  let folded = Profile.Counter_map.fold_back ~optimized:t.deployed delta in
+  Hashtbl.iter
+    (fun table count ->
+      Profile.Counter.incr ~by:(Int64.of_int count) folded ~owner:table ~label:"update")
+    t.update_counts;
+  Hashtbl.reset t.update_counts;
+  let prof_opt = Profile.of_counters ~window t.deployed delta in
+  let prof_orig = Profile.of_counters ~window t.original folded in
+  let observations = observed_localities ~deployed:t.deployed ~prof_opt ~prof_orig in
+  remember_localities t ~observations ~default:(Profile.default_cache_hit prof_orig);
+  let prof_orig = apply_locality_memory t prof_orig in
+  let issues = Monitor.assess ~observed:prof_opt t.deployed in
+  let result =
+    Pipeleon.Optimizer.optimize ~config:t.cfg.optimizer ~generation:(t.gen + 1) target
+      prof_orig t.original
+  in
+  let latency_original = Costmodel.Cost.expected_latency target prof_orig t.original in
+  let latency_new = latency_original -. result.plan.Pipeleon.Search.predicted_gain in
+  let latency_current = Costmodel.Cost.expected_latency target prof_opt t.deployed in
+  let worthwhile = latency_new < latency_current *. (1. -. t.cfg.min_relative_gain) in
+  if worthwhile then deploy t result.Pipeleon.Optimizer.program;
+  { reoptimized = worthwhile;
+    predicted_gain = result.plan.Pipeleon.Search.predicted_gain;
+    issues;
+    profile = prof_orig;
+    search_seconds = result.Pipeleon.Optimizer.elapsed_seconds }
+
+let force_redeploy t program = deploy t program

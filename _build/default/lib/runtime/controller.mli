@@ -1,0 +1,62 @@
+(** The Pipeleon runtime controller (Fig. 3): periodically collect the
+    runtime profile, fold counters back onto the original program, search
+    for a better layout, and redeploy when the predicted win clears a
+    hysteresis threshold.
+
+    The controller is the control plane: entry updates arrive here
+    against *original* table names and are mapped onto whatever layout is
+    currently deployed ({!Pipeleon.Api_map}). *)
+
+type deploy_mode =
+  | Full  (** whole-program reload; pays [reconfig_downtime] *)
+  | Incremental
+      (** hot-patch only changed tables ({!Nicsim.Sim.hot_patch}); pays
+          [reconfig_downtime x rebuilt/total] and keeps unchanged caches
+          warm (§6 incremental deployment) *)
+
+type config = {
+  optimizer : Pipeleon.Optimizer.config;
+  reconfig_downtime : float;
+      (** emulated seconds of service loss per full redeploy (0 for live-
+          reconfigurable NICs, >0 for reload-based ones like Agilio) *)
+  min_relative_gain : float;
+      (** redeploy only when predicted latency improves by this fraction *)
+  deploy_mode : deploy_mode;
+}
+
+val default_config : config
+(** Live reconfiguration, 3% hysteresis, default optimizer settings. *)
+
+type t
+
+val create : ?config:config -> Nicsim.Sim.t -> original:P4ir.Program.t -> t
+(** The simulator must currently run [original] (or an optimized
+    equivalent whose counter map folds back onto it). *)
+
+val sim : t -> Nicsim.Sim.t
+val original_program : t -> P4ir.Program.t
+(** With current entries (the control plane's source of truth). *)
+
+val deployed_program : t -> P4ir.Program.t
+val generation : t -> int
+
+val insert : t -> table:string -> P4ir.Table.entry -> unit
+(** Insert against the original table name; translated onto the deployed
+    layout. @raise Invalid_argument for unknown tables. *)
+
+val delete : t -> table:string -> P4ir.Table.entry -> unit
+
+type tick_report = {
+  reoptimized : bool;
+  predicted_gain : float;
+  issues : Monitor.issue list;
+  profile : Profile.t;  (** the folded-back original-name profile *)
+  search_seconds : float;
+}
+
+val tick : t -> tick_report
+(** One profiling + optimization round over the window since the last
+    tick (or creation). Redeploys through the simulator when warranted. *)
+
+val force_redeploy : t -> P4ir.Program.t -> unit
+(** Deploy a specific layout (testing / manual override). *)

@@ -1,0 +1,46 @@
+type issue =
+  | Low_hit_rate of { cache : string; observed : float; expected : float }
+  | Merged_blowup of { merged : string; entries : int; limit : int }
+  | Update_storm of { table : string; rate : float; limit : float }
+
+let assess ?(hit_rate_slack = 0.15) ?(entry_limit = Pipeleon.Merge.max_merged_entries)
+    ?(update_limit = 5000.) ~observed prog =
+  let issues = ref [] in
+  List.iter
+    (fun (_, (tab : P4ir.Table.t)) ->
+      (match tab.role with
+       | P4ir.Table.Cache meta when meta.auto_insert -> (
+         match Profile.table_stats observed tab.name with
+         | Some stats ->
+           let miss =
+             match List.assoc_opt tab.default_action stats.action_probs with
+             | Some p -> p
+             | None -> 0.
+           in
+           let observed_hit = 1. -. miss in
+           let expected = Profile.default_cache_hit observed in
+           if observed_hit < expected -. hit_rate_slack then
+             issues :=
+               Low_hit_rate { cache = tab.name; observed = observed_hit; expected }
+               :: !issues
+         | None -> ())
+       | P4ir.Table.Merged _ ->
+         let n = P4ir.Table.num_entries tab in
+         if n > entry_limit then
+           issues := Merged_blowup { merged = tab.name; entries = n; limit = entry_limit } :: !issues
+       | _ -> ());
+      let rate = Profile.update_rate observed ~table_name:tab.name in
+      match tab.role with
+      | P4ir.Table.Merged _ when rate > update_limit ->
+        issues := Update_storm { table = tab.name; rate; limit = update_limit } :: !issues
+      | _ -> ())
+    (P4ir.Program.tables prog);
+  List.rev !issues
+
+let pp_issue fmt = function
+  | Low_hit_rate { cache; observed; expected } ->
+    Format.fprintf fmt "low hit rate on %s: %.2f < %.2f" cache observed expected
+  | Merged_blowup { merged; entries; limit } ->
+    Format.fprintf fmt "merged table %s has %d entries (limit %d)" merged entries limit
+  | Update_storm { table; rate; limit } ->
+    Format.fprintf fmt "update storm on %s: %.1f/s (limit %.1f)" table rate limit

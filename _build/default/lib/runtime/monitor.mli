@@ -1,0 +1,22 @@
+(** Runtime health checks on deployed optimizations (§3.2 "optimization
+    considerations"): caches whose observed hit rate underperforms and
+    merged tables whose size or update rate exploded should trigger
+    re-optimization (possibly reversing the transformation). *)
+
+type issue =
+  | Low_hit_rate of { cache : string; observed : float; expected : float }
+  | Merged_blowup of { merged : string; entries : int; limit : int }
+  | Update_storm of { table : string; rate : float; limit : float }
+
+val assess :
+  ?hit_rate_slack:float ->
+  ?entry_limit:int ->
+  ?update_limit:float ->
+  observed:Profile.t ->
+  P4ir.Program.t ->
+  issue list
+(** [observed] is the profile of the *optimized* program (real counter
+    data). [hit_rate_slack] (default 0.15) is how far below the planning
+    estimate a cache may fall before flagging. *)
+
+val pp_issue : Format.formatter -> issue -> unit

@@ -1,0 +1,1 @@
+lib/traffic/trace.ml: Array Buffer Fun Int64 List Nicsim P4ir String

@@ -1,0 +1,1 @@
+lib/traffic/trace.mli: Nicsim P4ir Workload

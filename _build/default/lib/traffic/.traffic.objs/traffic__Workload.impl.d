@@ -1,0 +1,1 @@
+lib/traffic/workload.ml: Array List Nicsim P4ir Stdx Zipf

@@ -1,0 +1,1 @@
+lib/traffic/workload.mli: Nicsim P4ir Stdx

@@ -1,0 +1,85 @@
+type t = { trace_fields : P4ir.Field.t list; rows : int64 array array }
+
+let fields t = t.trace_fields
+let length t = Array.length t.rows
+
+let record ~fields ~n source =
+  let rows =
+    Array.init n (fun _ ->
+        let pkt = source () in
+        Array.of_list (List.map (Nicsim.Packet.get pkt) fields))
+  in
+  { trace_fields = fields; rows }
+
+let nth t i =
+  if i < 0 || i >= length t then invalid_arg "Trace.nth: out of bounds";
+  let pkt = Nicsim.Packet.create () in
+  List.iteri (fun j f -> Nicsim.Packet.set pkt f t.rows.(i).(j)) t.trace_fields;
+  pkt
+
+let replay ?(loop = true) t =
+  if length t = 0 then invalid_arg "Trace.replay: empty trace";
+  let cursor = ref 0 in
+  fun () ->
+    if !cursor >= length t then
+      if loop then cursor := 0 else invalid_arg "Trace.replay: trace exhausted";
+    let pkt = nth t !cursor in
+    incr cursor;
+    pkt
+
+let to_string t =
+  let buf = Buffer.create (16 * (length t + 1)) in
+  Buffer.add_string buf
+    (String.concat "," (List.map P4ir.Field.to_string t.trace_fields));
+  Buffer.add_char buf '\n';
+  Array.iter
+    (fun row ->
+      Buffer.add_string buf
+        (String.concat "," (Array.to_list (Array.map Int64.to_string row)));
+      Buffer.add_char buf '\n')
+    t.rows;
+  Buffer.contents buf
+
+let of_string s =
+  match String.split_on_char '\n' (String.trim s) with
+  | [] | [ "" ] -> invalid_arg "Trace.of_string: empty input"
+  | header :: lines ->
+    let trace_fields =
+      List.map
+        (fun name ->
+          match P4ir.Field.of_string (String.trim name) with
+          | f -> f
+          | exception Invalid_argument _ ->
+            invalid_arg ("Trace.of_string: unknown field " ^ name))
+        (String.split_on_char ',' header)
+    in
+    let width = List.length trace_fields in
+    let rows =
+      List.filter (fun l -> String.trim l <> "") lines
+      |> List.map (fun line ->
+             let cells = String.split_on_char ',' line in
+             if List.length cells <> width then
+               invalid_arg "Trace.of_string: row arity mismatch";
+             Array.of_list
+               (List.map
+                  (fun c ->
+                    match Int64.of_string_opt (String.trim c) with
+                    | Some v -> v
+                    | None -> invalid_arg ("Trace.of_string: bad value " ^ c))
+                  cells))
+      |> Array.of_list
+    in
+    { trace_fields; rows }
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string t))
+
+let load path =
+  let ic = open_in path in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_string content

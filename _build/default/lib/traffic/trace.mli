@@ -1,0 +1,28 @@
+(** Packet trace capture and replay.
+
+    A trace records the header fields of a packet stream so the *same*
+    workload can be replayed against different program layouts — the
+    moral equivalent of replaying a pcap through TRex. The on-disk format
+    is a simple CSV: a header line naming the fields, then one line of
+    decimal values per packet. *)
+
+type t
+
+val fields : t -> P4ir.Field.t list
+val length : t -> int
+
+val record : fields:P4ir.Field.t list -> n:int -> Workload.source -> t
+(** Pull [n] packets from the source and capture the given fields. *)
+
+val replay : ?loop:bool -> t -> Workload.source
+(** Packets in recorded order; with [loop] (default true) the trace
+    restarts when exhausted, otherwise raises [Invalid_argument]. *)
+
+val nth : t -> int -> Nicsim.Packet.t
+
+val save : string -> t -> unit
+val load : string -> t
+(** @raise Invalid_argument on malformed files. *)
+
+val to_string : t -> string
+val of_string : string -> t

@@ -1,0 +1,68 @@
+type flow = (P4ir.Field.t * P4ir.Value.t) list
+
+type source = unit -> Nicsim.Packet.t
+
+let random_value rng field =
+  let width = P4ir.Field.width field in
+  let raw = Stdx.Prng.next64 rng in
+  P4ir.Value.truncate ~width raw
+
+let random_flows rng ~n ~fields =
+  Array.init n (fun _ -> List.map (fun f -> (f, random_value rng f)) fields)
+
+let flows_hitting rng ~n (tab : P4ir.Table.t) =
+  let exact_entries =
+    List.filter
+      (fun (e : P4ir.Table.entry) ->
+        List.for_all (function P4ir.Pattern.Exact _ -> true | _ -> false) e.patterns)
+      tab.entries
+  in
+  if exact_entries = [] then
+    invalid_arg ("Workload.flows_hitting: no exact entries in " ^ tab.name);
+  let entries = Array.of_list exact_entries in
+  Array.init n (fun _ ->
+      let e = Stdx.Prng.choice rng entries in
+      List.map2
+        (fun (k : P4ir.Table.key) p ->
+          match p with
+          | P4ir.Pattern.Exact v -> (k.field, v)
+          | _ -> assert false)
+        tab.keys e.patterns)
+
+let apply_flow pkt flow = List.iter (fun (f, v) -> Nicsim.Packet.set pkt f v) flow
+
+let of_flows ?(zipf_s = 0.) ?size_bytes rng flows =
+  if Array.length flows = 0 then invalid_arg "Workload.of_flows: empty flow set";
+  let sampler =
+    if zipf_s > 0. then
+      let z = Zipf.create ~n:(Array.length flows) ~s:zipf_s in
+      fun () -> Zipf.sample z rng
+    else fun () -> Stdx.Prng.int rng (Array.length flows)
+  in
+  fun () ->
+    let pkt = Nicsim.Packet.create ?size_bytes () in
+    apply_flow pkt flows.(sampler ());
+    pkt
+
+let mark_fraction rng ~rate ~field ~value inner () =
+  let pkt = inner () in
+  if Stdx.Prng.bool rng rate then Nicsim.Packet.set pkt field value;
+  pkt
+
+let override ~field ~value inner () =
+  let pkt = inner () in
+  Nicsim.Packet.set pkt field value;
+  pkt
+
+let mixture rng weighted =
+  if weighted = [] then invalid_arg "Workload.mixture: empty list";
+  let weights = Array.of_list (List.map fst weighted) in
+  let sources = Array.of_list (List.map snd weighted) in
+  fun () ->
+    let i = Stdx.Prng.weighted_index rng weights in
+    sources.(i) ()
+
+let constant ?size_bytes flow () =
+  let pkt = Nicsim.Packet.create ?size_bytes () in
+  apply_flow pkt flow;
+  pkt

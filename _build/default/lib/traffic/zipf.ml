@@ -1,0 +1,30 @@
+type t = { cumulative : float array }
+
+let create ~n ~s =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if s < 0. then invalid_arg "Zipf.create: s must be non-negative";
+  let weights = Array.init n (fun i -> 1. /. Float.pow (float_of_int (i + 1)) s) in
+  let total = Array.fold_left ( +. ) 0. weights in
+  let cumulative = Array.make n 0. in
+  let acc = ref 0. in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. (w /. total);
+      cumulative.(i) <- !acc)
+    weights;
+  cumulative.(n - 1) <- 1.0;
+  { cumulative }
+
+let sample t rng =
+  let target = Stdx.Prng.float rng in
+  (* First index whose cumulative mass exceeds the target. *)
+  let lo = ref 0 and hi = ref (Array.length t.cumulative - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cumulative.(mid) <= target then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let probability t i =
+  if i = 0 then t.cumulative.(0)
+  else t.cumulative.(i) -. t.cumulative.(i - 1)

@@ -1,0 +1,15 @@
+(** Zipfian sampling over [n] ranked items, used to model traffic
+    locality (popular flows dominate, which is what makes flow caches
+    effective). *)
+
+type t
+
+val create : n:int -> s:float -> t
+(** Rank distribution with weight [1 / rank^s]; [s = 0] is uniform.
+    @raise Invalid_argument if [n <= 0] or [s < 0]. *)
+
+val sample : t -> Stdx.Prng.t -> int
+(** An index in [0, n), rank 0 most popular. O(log n). *)
+
+val probability : t -> int -> float
+(** Probability mass of one rank. *)

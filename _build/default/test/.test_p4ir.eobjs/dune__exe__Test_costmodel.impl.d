@@ -1,0 +1,1 @@
+test/test_costmodel.ml: Alcotest Costmodel Float Int64 List Option P4ir Printf Profile

@@ -1,0 +1,1 @@
+test/test_nicsim.ml: Alcotest Array Costmodel Float Int Int64 List Nicsim Option P4ir Pipeleon Profile Stdx String Traffic

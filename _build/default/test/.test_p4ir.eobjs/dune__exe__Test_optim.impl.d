@@ -1,0 +1,1 @@
+test/test_optim.ml: Alcotest Array Costmodel Float Int Int64 Knapsack List Nicsim Option P4ir Pipeleon Printf Profile Stdx String Traffic

@@ -1,0 +1,1 @@
+test/test_p4ir.ml: Alcotest Fun Int Int64 List Option P4ir Printf Result String

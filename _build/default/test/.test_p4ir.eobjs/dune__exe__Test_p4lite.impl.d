@@ -1,0 +1,1 @@
+test/test_p4lite.ml: Alcotest Array Costmodel Int64 List Nicsim Option P4ir P4lite Pipeleon Stdx String

@@ -1,0 +1,1 @@
+test/test_pipelet.ml: Alcotest Costmodel Experiments List P4ir Pipeleon Printf Profile Stdx

@@ -1,0 +1,1 @@
+test/test_profile.ml: Alcotest Int64 List P4ir Pipeleon Profile String

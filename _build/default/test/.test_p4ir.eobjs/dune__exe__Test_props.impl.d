@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Costmodel Experiments Float Fun Hashtbl Int64 List Nicsim P4ir P4lite Pipeleon QCheck2 QCheck_alcotest Stdx String

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Costmodel Float Int64 List Nicsim Option P4ir Pipeleon Printf Profile Runtime Stdx String Traffic

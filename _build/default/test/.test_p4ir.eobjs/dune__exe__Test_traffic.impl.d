@@ -1,0 +1,1 @@
+test/test_traffic.ml: Alcotest Array Float Hashtbl Int64 List Nicsim P4ir Stdx Traffic

@@ -1,0 +1,470 @@
+(* Tests for the SmartNIC simulator: packets, LRU, match engines, the
+   run-to-completion executor, and the multicore throughput model. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+let check_float = Alcotest.(check (float 1e-6))
+
+(* --- Packet --- *)
+
+let test_packet_fields () =
+  let p = Nicsim.Packet.create () in
+  Nicsim.Packet.set p P4ir.Field.Ipv4_dst 0x0A000001L;
+  check_bool "set/get" true
+    (Int64.equal (Nicsim.Packet.get p P4ir.Field.Ipv4_dst) 0x0A000001L);
+  Nicsim.Packet.set p P4ir.Field.Ipv4_ttl 0x1FFL;
+  check_bool "width truncation" true
+    (Int64.equal (Nicsim.Packet.get p P4ir.Field.Ipv4_ttl) 0xFFL);
+  Nicsim.Packet.set p (P4ir.Field.Meta 20) 7L;
+  check_bool "meta grows" true (Int64.equal (Nicsim.Packet.get p (P4ir.Field.Meta 20)) 7L);
+  check_bool "unset meta reads zero" true
+    (Int64.equal (Nicsim.Packet.get p (P4ir.Field.Meta 5)) 0L)
+
+let test_packet_copy_independent () =
+  let p = Nicsim.Packet.of_fields [ (P4ir.Field.Tcp_sport, 80L) ] in
+  let q = Nicsim.Packet.copy p in
+  Nicsim.Packet.set q P4ir.Field.Tcp_sport 443L;
+  check_bool "copy independent" true
+    (Int64.equal (Nicsim.Packet.get p P4ir.Field.Tcp_sport) 80L)
+
+(* --- LRU --- *)
+
+let test_lru_eviction_order () =
+  let lru = Nicsim.Lru.create ~capacity:2 in
+  ignore (Nicsim.Lru.put lru "a" 1);
+  ignore (Nicsim.Lru.put lru "b" 2);
+  ignore (Nicsim.Lru.find lru "a");  (* refresh a *)
+  let evicted = Nicsim.Lru.put lru "c" 3 in
+  check_bool "b evicted" true (evicted = Some "b");
+  check_bool "a kept" true (Nicsim.Lru.find lru "a" = Some 1);
+  check_int "len" 2 (Nicsim.Lru.length lru)
+
+let test_lru_overwrite_no_evict () =
+  let lru = Nicsim.Lru.create ~capacity:2 in
+  ignore (Nicsim.Lru.put lru "a" 1);
+  ignore (Nicsim.Lru.put lru "b" 2);
+  check_bool "overwrite" true (Nicsim.Lru.put lru "a" 9 = None);
+  check_bool "value updated" true (Nicsim.Lru.find lru "a" = Some 9)
+
+let test_lru_remove_clear () =
+  let lru = Nicsim.Lru.create ~capacity:4 in
+  ignore (Nicsim.Lru.put lru "a" 1);
+  Nicsim.Lru.remove lru "a";
+  check_bool "removed" true (Nicsim.Lru.find lru "a" = None);
+  ignore (Nicsim.Lru.put lru "b" 2);
+  Nicsim.Lru.clear lru;
+  check_int "cleared" 0 (Nicsim.Lru.length lru)
+
+(* --- Engines --- *)
+
+let pkt_dst v =
+  Nicsim.Packet.of_fields [ (P4ir.Field.Ipv4_dst, v); (P4ir.Field.Tcp_dport, 80L) ]
+
+let test_engine_exact () =
+  let tab =
+    P4ir.Table.make ~name:"e"
+      ~keys:[ P4ir.Table.key P4ir.Field.Ipv4_dst P4ir.Match_kind.Exact ]
+      ~actions:[ P4ir.Action.nop "hit"; P4ir.Action.nop "def" ]
+      ~default_action:"def"
+      ~entries:[ P4ir.Table.entry [ P4ir.Pattern.Exact 5L ] "hit" ]
+      ()
+  in
+  let eng = Nicsim.Engine.create tab in
+  let hit, accesses = Nicsim.Engine.lookup eng (pkt_dst 5L) in
+  check_bool "hit" true (Option.is_some hit);
+  check_int "one access" 1 accesses;
+  let miss, accesses = Nicsim.Engine.lookup eng (pkt_dst 6L) in
+  check_bool "miss" true (miss = None);
+  check_int "miss one access" 1 accesses
+
+let lpm_table () =
+  P4ir.Table.make ~name:"lpm"
+    ~keys:[ P4ir.Table.key P4ir.Field.Ipv4_dst P4ir.Match_kind.Lpm ]
+    ~actions:[ P4ir.Action.nop "a8"; P4ir.Action.nop "a24"; P4ir.Action.nop "def" ]
+    ~default_action:"def"
+    ~entries:
+      [ P4ir.Table.entry [ P4ir.Pattern.Lpm (0x0A000000L, 8) ] "a8";
+        P4ir.Table.entry [ P4ir.Pattern.Lpm (0x0A0B0C00L, 24) ] "a24" ]
+    ()
+
+let test_engine_lpm_longest_first () =
+  let eng = Nicsim.Engine.create (lpm_table ()) in
+  let hit, accesses = Nicsim.Engine.lookup eng (pkt_dst 0x0A0B0C0DL) in
+  (match hit with
+   | Some e -> check_string "longest prefix wins" "a24" e.action
+   | None -> Alcotest.fail "expected hit");
+  check_int "first probe suffices" 1 accesses;
+  let hit, accesses = Nicsim.Engine.lookup eng (pkt_dst 0x0AFFFFFFL) in
+  (match hit with
+   | Some e -> check_string "short prefix" "a8" e.action
+   | None -> Alcotest.fail "expected /8 hit");
+  check_int "two probes" 2 accesses;
+  let miss, accesses = Nicsim.Engine.lookup eng (pkt_dst 0x0B000000L) in
+  check_bool "miss" true (miss = None);
+  check_int "all groups probed on miss" 2 accesses
+
+let test_engine_ternary_priority () =
+  let tab =
+    P4ir.Table.make ~name:"tern"
+      ~keys:[ P4ir.Table.key P4ir.Field.Ipv4_dst P4ir.Match_kind.Ternary ]
+      ~actions:[ P4ir.Action.nop "low"; P4ir.Action.nop "high" ]
+      ~default_action:"low"
+      ~entries:
+        [ P4ir.Table.entry ~priority:1 [ P4ir.Pattern.Ternary (0x0A000000L, 0xFF000000L) ] "low";
+          P4ir.Table.entry ~priority:9 [ P4ir.Pattern.Ternary (0x0A0B0000L, 0xFFFF0000L) ] "high" ]
+      ()
+  in
+  let eng = Nicsim.Engine.create tab in
+  let hit, accesses = Nicsim.Engine.lookup eng (pkt_dst 0x0A0B0000L) in
+  (match hit with
+   | Some e -> check_string "priority wins" "high" e.action
+   | None -> Alcotest.fail "expected hit");
+  check_int "every mask group probed" 2 accesses
+
+let test_engine_range_linear () =
+  let tab =
+    P4ir.Table.make ~name:"rng"
+      ~keys:[ P4ir.Table.key P4ir.Field.Tcp_dport P4ir.Match_kind.Range ]
+      ~actions:[ P4ir.Action.nop "web"; P4ir.Action.nop "def" ]
+      ~default_action:"def"
+      ~entries:[ P4ir.Table.entry [ P4ir.Pattern.Range (80L, 443L) ] "web" ]
+      ()
+  in
+  let eng = Nicsim.Engine.create tab in
+  match Nicsim.Engine.lookup eng (pkt_dst 1L) with
+  | Some e, _ -> check_string "range hit" "web" e.action
+  | None, _ -> Alcotest.fail "expected range hit"
+
+let test_engine_insert_delete () =
+  let tab =
+    P4ir.Table.make ~name:"e"
+      ~keys:[ P4ir.Table.key P4ir.Field.Ipv4_dst P4ir.Match_kind.Exact ]
+      ~actions:[ P4ir.Action.nop "hit"; P4ir.Action.nop "def" ]
+      ~default_action:"def" ()
+  in
+  let eng = Nicsim.Engine.create tab in
+  Nicsim.Engine.insert eng (P4ir.Table.entry [ P4ir.Pattern.Exact 7L ] "hit");
+  check_int "one entry" 1 (Nicsim.Engine.num_entries eng);
+  check_int "update counted" 1 (Nicsim.Engine.update_count eng);
+  check_bool "hit after insert" true
+    (fst (Nicsim.Engine.lookup eng (pkt_dst 7L)) <> None);
+  check_bool "delete" true (Nicsim.Engine.delete eng ~patterns:[ P4ir.Pattern.Exact 7L ]);
+  check_int "empty" 0 (Nicsim.Engine.num_entries eng);
+  check_int "both updates counted" 2 (Nicsim.Engine.take_update_count eng);
+  check_int "counter reset" 0 (Nicsim.Engine.update_count eng)
+
+let cache_table ?(capacity = 2) ?(insert_limit = 0.) () =
+  P4ir.Table.make ~name:"cache"
+    ~keys:[ P4ir.Table.key P4ir.Field.Ipv4_dst P4ir.Match_kind.Exact ]
+    ~actions:[ P4ir.Action.nop "t:a"; P4ir.Action.nop "miss" ]
+    ~default_action:"miss"
+    ~role:
+      (P4ir.Table.Cache
+         { P4ir.Table.cached_tables = [ "t" ]; capacity; insert_limit; auto_insert = true })
+    ()
+
+let test_cache_fill_lru () =
+  let eng = Nicsim.Engine.create (cache_table ()) in
+  let fill v = Nicsim.Engine.cache_fill eng ~now:0. (P4ir.Table.entry [ P4ir.Pattern.Exact v ] "t:a") in
+  check_bool "first" true (fill 1L = `Inserted);
+  check_bool "second" true (fill 2L = `Inserted);
+  check_bool "third evicts" true (fill 3L = `Full_replace);
+  check_int "capacity respected" 2 (Nicsim.Engine.num_entries eng)
+
+let test_cache_fill_rate_limit () =
+  let eng = Nicsim.Engine.create (cache_table ~capacity:100 ~insert_limit:2. ()) in
+  let fill now v =
+    Nicsim.Engine.cache_fill eng ~now (P4ir.Table.entry [ P4ir.Pattern.Exact v ] "t:a")
+  in
+  (* The bucket starts with one second's burst (2 tokens). *)
+  check_bool "burst token 1" true (fill 0.0 1L = `Inserted);
+  check_bool "burst token 2" true (fill 0.0 2L = `Inserted);
+  check_bool "burst exhausted" true (fill 0.0 3L = `Rate_limited);
+  check_bool "refills with time" true (fill 1.0 4L = `Inserted);
+  check_bool "capped at burst" true (fill 1.0 5L = `Inserted);
+  check_bool "exhausted again" true (fill 1.0 6L = `Rate_limited)
+
+(* --- Exec --- *)
+
+let acl_with_drop ~name value =
+  let acl = P4ir.Builder.acl_table ~name ~keys:[ P4ir.Builder.exact_key P4ir.Field.Ipv4_dst ] () in
+  P4ir.Table.add_entry acl (P4ir.Table.entry [ P4ir.Pattern.Exact value ] "deny")
+
+let test_exec_drop_halts () =
+  let acl = acl_with_drop ~name:"acl" 9L in
+  let after = P4ir.Builder.exact_chain ~prefix:"t" ~n:1 ~key_of:(fun _ -> P4ir.Field.Tcp_dport) () in
+  let prog = P4ir.Program.linear "p" (acl :: after) in
+  let target = Costmodel.Target.bluefield2 in
+  let ex = Nicsim.Exec.create (Nicsim.Exec.default_config target) prog in
+  let dropped = pkt_dst 9L in
+  let lat_dropped = Nicsim.Exec.run_packet ex ~now:0. dropped in
+  check_bool "dropped" true (Nicsim.Packet.is_dropped dropped);
+  let passed = pkt_dst 8L in
+  let lat_passed = Nicsim.Exec.run_packet ex ~now:0. passed in
+  check_bool "not dropped" false (Nicsim.Packet.is_dropped passed);
+  check_bool "early drop is cheaper" true (lat_dropped < lat_passed);
+  check_int "drops counted" 1 (Nicsim.Exec.drops_seen ex)
+
+let test_exec_actions_apply () =
+  let tab =
+    P4ir.Table.make ~name:"rewrite"
+      ~keys:[ P4ir.Table.key P4ir.Field.Ipv4_dst P4ir.Match_kind.Exact ]
+      ~actions:
+        [ P4ir.Action.make "rw"
+            [ P4ir.Action.Set_field (P4ir.Field.Tcp_dport, 100L);
+              P4ir.Action.Dec_ttl;
+              P4ir.Action.Forward 3 ];
+          P4ir.Action.nop "def" ]
+      ~default_action:"def"
+      ~entries:[ P4ir.Table.entry [ P4ir.Pattern.Exact 1L ] "rw" ]
+      ()
+  in
+  let prog = P4ir.Program.linear "p" [ tab ] in
+  let ex = Nicsim.Exec.create (Nicsim.Exec.default_config Costmodel.Target.bluefield2) prog in
+  let p = pkt_dst 1L in
+  Nicsim.Packet.set p P4ir.Field.Ipv4_ttl 64L;
+  ignore (Nicsim.Exec.run_packet ex ~now:0. p);
+  check_bool "dport rewritten" true (Int64.equal (Nicsim.Packet.get p P4ir.Field.Tcp_dport) 100L);
+  check_bool "ttl decremented" true (Int64.equal (Nicsim.Packet.get p P4ir.Field.Ipv4_ttl) 63L);
+  check_bool "egress set" true (Nicsim.Packet.egress_port p = Some 3)
+
+let test_exec_counters () =
+  let acl = acl_with_drop ~name:"acl" 9L in
+  let prog = P4ir.Program.linear "p" [ acl ] in
+  let ex = Nicsim.Exec.create (Nicsim.Exec.default_config Costmodel.Target.bluefield2) prog in
+  ignore (Nicsim.Exec.run_packet ex ~now:0. (pkt_dst 9L));
+  ignore (Nicsim.Exec.run_packet ex ~now:0. (pkt_dst 1L));
+  ignore (Nicsim.Exec.run_packet ex ~now:0. (pkt_dst 2L));
+  let c = Nicsim.Exec.counters ex in
+  check_bool "deny counted" true (Int64.equal (Profile.Counter.get c ~owner:"acl" ~label:"deny") 1L);
+  check_bool "allow counted" true
+    (Int64.equal (Profile.Counter.get c ~owner:"acl" ~label:"allow") 2L)
+
+let test_exec_sampling () =
+  let acl = acl_with_drop ~name:"acl" 9L in
+  let prog = P4ir.Program.linear "p" [ acl ] in
+  let cfg =
+    { (Nicsim.Exec.default_config Costmodel.Target.bluefield2) with
+      Nicsim.Exec.sample_rate = 4 }
+  in
+  let ex = Nicsim.Exec.create cfg prog in
+  for _ = 1 to 16 do
+    ignore (Nicsim.Exec.run_packet ex ~now:0. (pkt_dst 1L))
+  done;
+  let c = Nicsim.Exec.counters ex in
+  check_bool "1 in 4 sampled" true
+    (Int64.equal (Profile.Counter.get c ~owner:"acl" ~label:"allow") 4L)
+
+let test_exec_migration_cost () =
+  let tabs = P4ir.Builder.exact_chain ~prefix:"t" ~n:4 ~key_of:(fun _ -> P4ir.Field.Ipv4_dst) () in
+  let prog = P4ir.Program.linear "p" tabs in
+  let target = Costmodel.Target.bluefield2 in
+  let all_asic = Nicsim.Exec.default_config target in
+  let ids = List.map fst (P4ir.Program.tables prog) in
+  (* Alternate ASIC/CPU: t0=Asic, t1=Cpu, t2=Asic, t3=Cpu gives crossings
+     t0-t1, t1-t2, t2-t3, t3-sink = 4 migrations. *)
+  let placement id =
+    match List.find_index (Int.equal id) ids with
+    | Some i when i mod 2 = 1 -> Costmodel.Cost.Cpu
+    | _ -> Costmodel.Cost.Asic
+  in
+  let hetero = { all_asic with Nicsim.Exec.placement } in
+  let ex_flat = Nicsim.Exec.create all_asic prog in
+  let ex_het = Nicsim.Exec.create hetero prog in
+  let base = Nicsim.Exec.run_packet ex_flat ~now:0. (pkt_dst 1L) in
+  let lifted = Nicsim.Exec.run_packet ex_het ~now:0. (pkt_dst 1L) in
+  check_bool "migrations charged" true
+    (lifted -. base >= (4. *. target.Costmodel.Target.migration_latency) -. 1e-6)
+
+let test_exec_switch_case_routing () =
+  let t_next = P4ir.Builder.exact_chain ~prefix:"after" ~n:1 ~key_of:(fun _ -> P4ir.Field.Ipv4_dst) () in
+  let switch_tab =
+    P4ir.Table.make ~name:"sw"
+      ~keys:[ P4ir.Table.key P4ir.Field.Ipv4_dst P4ir.Match_kind.Exact ]
+      ~actions:[ P4ir.Action.nop "go"; P4ir.Action.nop "skip" ]
+      ~default_action:"skip"
+      ~entries:[ P4ir.Table.entry [ P4ir.Pattern.Exact 1L ] "go" ]
+      ()
+  in
+  let prog = P4ir.Program.empty "p" in
+  let prog, after_id =
+    P4ir.Program.add_node prog
+      (P4ir.Program.Table (List.hd t_next, P4ir.Program.Uniform None))
+  in
+  let prog, sw_id =
+    P4ir.Program.add_node prog
+      (P4ir.Program.Table
+         (switch_tab, P4ir.Program.Per_action [ ("go", Some after_id); ("skip", None) ]))
+  in
+  let prog = P4ir.Program.with_root prog (Some sw_id) in
+  P4ir.Program.validate_exn prog;
+  let ex = Nicsim.Exec.create (Nicsim.Exec.default_config Costmodel.Target.bluefield2) prog in
+  ignore (Nicsim.Exec.run_packet ex ~now:0. (pkt_dst 1L));
+  ignore (Nicsim.Exec.run_packet ex ~now:0. (pkt_dst 2L));
+  let c = Nicsim.Exec.counters ex in
+  check_bool "only the 'go' packet reaches after_0" true
+    (Int64.equal (Profile.Counter.owner_total c "after_0") 1L)
+
+(* --- Sim --- *)
+
+let test_sim_window_throughput () =
+  let tabs = P4ir.Builder.exact_chain ~prefix:"t" ~n:10 ~key_of:(fun _ -> P4ir.Field.Ipv4_dst) () in
+  let prog = P4ir.Program.linear "p" tabs in
+  let target = Costmodel.Target.bluefield2 in
+  let sim = Nicsim.Sim.create target prog in
+  let rng = Stdx.Prng.create 42L in
+  let flows = Traffic.Workload.random_flows rng ~n:100 ~fields:[ P4ir.Field.Ipv4_dst ] in
+  let source = Traffic.Workload.of_flows rng flows in
+  let stats = Nicsim.Sim.run_window sim ~duration:1.0 ~packets:500 ~source in
+  check_int "sampled" 500 stats.Nicsim.Sim.sampled_packets;
+  check_bool "throughput positive" true (stats.Nicsim.Sim.throughput_gbps > 0.);
+  check_bool "capped at line rate" true
+    (stats.Nicsim.Sim.throughput_gbps <= target.Costmodel.Target.line_rate_gbps +. 1e-9);
+  check_float "clock advanced" 1.0 (Nicsim.Sim.now sim)
+
+let test_sim_reconfigure_preserves_entries () =
+  let tab =
+    P4ir.Table.make ~name:"keep"
+      ~keys:[ P4ir.Table.key P4ir.Field.Ipv4_dst P4ir.Match_kind.Exact ]
+      ~actions:[ P4ir.Action.nop "hit"; P4ir.Action.nop "def" ]
+      ~default_action:"def" ()
+  in
+  let prog = P4ir.Program.linear "p" [ tab ] in
+  let sim = Nicsim.Sim.create Costmodel.Target.bluefield2 prog in
+  Nicsim.Sim.insert sim ~table:"keep" (P4ir.Table.entry [ P4ir.Pattern.Exact 7L ] "hit");
+  let prog2 =
+    P4ir.Program.linear "p2"
+      (tab :: P4ir.Builder.exact_chain ~prefix:"new" ~n:1 ~key_of:(fun _ -> P4ir.Field.Tcp_dport) ())
+  in
+  Nicsim.Sim.reconfigure ~downtime:0.5 sim prog2;
+  check_float "downtime advanced clock" 0.5 (Nicsim.Sim.now sim);
+  let eng = Nicsim.Exec.engine_exn (Nicsim.Sim.exec sim) "keep" in
+  check_int "entries preserved" 1 (Nicsim.Engine.num_entries eng)
+
+let test_sim_profile_extraction () =
+  let acl = acl_with_drop ~name:"acl" 9L in
+  let prog = P4ir.Program.linear "p" [ acl ] in
+  let sim = Nicsim.Sim.create Costmodel.Target.bluefield2 prog in
+  let rng = Stdx.Prng.create 1L in
+  let base = Traffic.Workload.constant [ (P4ir.Field.Ipv4_dst, 1L) ] in
+  let source =
+    Traffic.Workload.mark_fraction rng ~rate:0.5 ~field:P4ir.Field.Ipv4_dst ~value:9L base
+  in
+  ignore (Nicsim.Sim.run_window sim ~duration:1.0 ~packets:4000 ~source);
+  let prof = Nicsim.Sim.current_profile sim in
+  let drop =
+    Profile.drop_prob prof
+      (match P4ir.Program.find_table prog "acl" with Some (_, t) -> t | None -> assert false)
+  in
+  check_bool "observed drop rate near 0.5" true (Float.abs (drop -. 0.5) < 0.05)
+
+let test_sim_p99_and_drop_fraction () =
+  let acl = acl_with_drop ~name:"acl" 9L in
+  let tail = P4ir.Builder.exact_chain ~prefix:"t" ~n:8 ~key_of:(fun _ -> P4ir.Field.Tcp_dport) () in
+  let prog = P4ir.Program.linear "p" (acl :: tail) in
+  let sim = Nicsim.Sim.create Costmodel.Target.bluefield2 prog in
+  let rng = Stdx.Prng.create 8L in
+  let base = Traffic.Workload.constant [ (P4ir.Field.Ipv4_dst, 1L) ] in
+  let source =
+    Traffic.Workload.mark_fraction rng ~rate:0.25 ~field:P4ir.Field.Ipv4_dst ~value:9L base
+  in
+  let stats = Nicsim.Sim.run_window sim ~duration:1.0 ~packets:2000 ~source in
+  check_bool "p99 >= avg" true (stats.Nicsim.Sim.p99_latency >= stats.Nicsim.Sim.avg_latency);
+  check_bool "drop fraction near 0.25" true
+    (Float.abs (stats.Nicsim.Sim.drop_fraction -. 0.25) < 0.04)
+
+let test_sim_instrumentation_overhead () =
+  let prog =
+    P4ir.Program.linear "p"
+      (P4ir.Builder.exact_chain ~prefix:"t" ~n:20 ~key_of:(fun _ -> P4ir.Field.Ipv4_dst) ())
+  in
+  let target = Costmodel.Target.agilio_cx in
+  let run instrumented =
+    let cfg = { (Nicsim.Exec.default_config target) with Nicsim.Exec.instrumented } in
+    let sim = Nicsim.Sim.create ~config:cfg target prog in
+    let source = Traffic.Workload.constant [ (P4ir.Field.Ipv4_dst, 1L) ] in
+    (Nicsim.Sim.run_window sim ~duration:1.0 ~packets:300 ~source).Nicsim.Sim.avg_latency
+  in
+  let plain = run false and counted = run true in
+  (* 20 counter bumps at the Agilio counter cost. *)
+  Alcotest.(check (float 1e-6)) "counter cost exact"
+    (20. *. target.Costmodel.Target.counter_update_cost)
+    (counted -. plain)
+
+let test_cache_capacity_respected_in_program () =
+  let tabs = P4ir.Builder.exact_chain ~prefix:"t" ~n:2 ~key_of:(fun i -> [| P4ir.Field.Ipv4_src; P4ir.Field.Ipv4_dst |].(i)) () in
+  let prog = P4ir.Program.linear "p" tabs in
+  let p = List.hd (Pipeleon.Pipelet.form prog) in
+  let cache = Pipeleon.Cache.build ~capacity:8 ~insert_limit:1e9 ~name:"c" tabs in
+  let prog' =
+    Pipeleon.Transform.apply prog p [ Pipeleon.Transform.Cached { cache; originals = tabs } ]
+  in
+  let ex = Nicsim.Exec.create (Nicsim.Exec.default_config Costmodel.Target.bluefield2) prog' in
+  for i = 1 to 100 do
+    let pkt =
+      Nicsim.Packet.of_fields
+        [ (P4ir.Field.Ipv4_src, Int64.of_int i); (P4ir.Field.Ipv4_dst, Int64.of_int i) ]
+    in
+    ignore (Nicsim.Exec.run_packet ex ~now:(float_of_int i) pkt)
+  done;
+  check_int "LRU bound holds under fills" 8
+    (Nicsim.Engine.num_entries (Nicsim.Exec.engine_exn ex "c"))
+
+let test_navigation_migration_execution () =
+  (* Materialized hetero program executes through nav/migration tables:
+     next_tab_id gets written and the packet still reaches the end. *)
+  let tabs =
+    P4ir.Builder.exact_chain ~prefix:"t" ~n:2 ~key_of:(fun _ -> P4ir.Field.Ipv4_dst) ()
+  in
+  let prog = P4ir.Program.linear "p" tabs in
+  let ids = List.map fst (P4ir.Program.tables prog) in
+  let placement id = if id = List.nth ids 1 then Costmodel.Cost.Cpu else Costmodel.Cost.Asic in
+  let prog', placement' = Pipeleon.Hetero.materialize prog ~placement in
+  let cfg = { (Nicsim.Exec.default_config Costmodel.Target.emulated_nic) with Nicsim.Exec.placement = placement' } in
+  let ex = Nicsim.Exec.create cfg prog' in
+  let pkt = pkt_dst 1L in
+  ignore (Nicsim.Exec.run_packet ex ~now:0. pkt);
+  check_bool "next_tab_id piggybacked" true
+    (Int64.compare (Nicsim.Packet.get pkt P4ir.Field.Next_tab_id) 0L > 0);
+  let c = Nicsim.Exec.counters ex in
+  check_bool "migration table executed" true
+    (List.exists
+       (fun ((k : Profile.Counter.key), _) ->
+         String.length k.owner >= 5 && String.sub k.owner 0 5 = "__mig")
+       (Profile.Counter.dump c))
+
+let () =
+  Alcotest.run "nicsim"
+    [ ( "packet",
+        [ Alcotest.test_case "fields" `Quick test_packet_fields;
+          Alcotest.test_case "copy" `Quick test_packet_copy_independent ] );
+      ( "lru",
+        [ Alcotest.test_case "eviction order" `Quick test_lru_eviction_order;
+          Alcotest.test_case "overwrite" `Quick test_lru_overwrite_no_evict;
+          Alcotest.test_case "remove/clear" `Quick test_lru_remove_clear ] );
+      ( "engine",
+        [ Alcotest.test_case "exact" `Quick test_engine_exact;
+          Alcotest.test_case "lpm longest first" `Quick test_engine_lpm_longest_first;
+          Alcotest.test_case "ternary priority" `Quick test_engine_ternary_priority;
+          Alcotest.test_case "range linear" `Quick test_engine_range_linear;
+          Alcotest.test_case "insert/delete" `Quick test_engine_insert_delete;
+          Alcotest.test_case "cache fill + lru" `Quick test_cache_fill_lru;
+          Alcotest.test_case "cache rate limit" `Quick test_cache_fill_rate_limit ] );
+      ( "exec",
+        [ Alcotest.test_case "drop halts" `Quick test_exec_drop_halts;
+          Alcotest.test_case "actions apply" `Quick test_exec_actions_apply;
+          Alcotest.test_case "counters" `Quick test_exec_counters;
+          Alcotest.test_case "sampling" `Quick test_exec_sampling;
+          Alcotest.test_case "migration cost" `Quick test_exec_migration_cost;
+          Alcotest.test_case "switch-case routing" `Quick test_exec_switch_case_routing ] );
+      ( "sim",
+        [ Alcotest.test_case "window throughput" `Quick test_sim_window_throughput;
+          Alcotest.test_case "reconfigure" `Quick test_sim_reconfigure_preserves_entries;
+          Alcotest.test_case "profile extraction" `Quick test_sim_profile_extraction;
+          Alcotest.test_case "p99 + drop fraction" `Quick test_sim_p99_and_drop_fraction;
+          Alcotest.test_case "instrumentation overhead" `Quick test_sim_instrumentation_overhead;
+          Alcotest.test_case "cache capacity in program" `Quick
+            test_cache_capacity_respected_in_program;
+          Alcotest.test_case "nav/migration execution" `Quick
+            test_navigation_migration_execution ] ) ]

@@ -1,0 +1,252 @@
+(* Tests for the P4-lite frontend: lexer, parser, lowering, emission. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* --- lexer --- *)
+
+let toks src = List.map (fun (t : P4lite.Lexer.located) -> t.token) (P4lite.Lexer.tokenize src)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_lex_numbers () =
+  check_bool "decimal" true (toks "42" = [ P4lite.Token.Number 42L; P4lite.Token.Eof ]);
+  check_bool "hex" true (toks "0xFF" = [ P4lite.Token.Number 255L; P4lite.Token.Eof ]);
+  check_bool "ipv4 quad" true
+    (toks "10.0.0.1" = [ P4lite.Token.Number 0x0A000001L; P4lite.Token.Eof ]);
+  check_bool "range keeps dotdot" true
+    (toks "10..20"
+     = [ P4lite.Token.Number 10L; P4lite.Token.Dotdot; P4lite.Token.Number 20L; P4lite.Token.Eof ])
+
+let test_lex_idents_and_keywords () =
+  check_bool "dotted ident" true (toks "ipv4.src" = [ P4lite.Token.Ident "ipv4.src"; P4lite.Token.Eof ]);
+  check_bool "meta index" true (toks "meta.3" = [ P4lite.Token.Ident "meta.3"; P4lite.Token.Eof ]);
+  check_bool "keyword" true (toks "table" = [ P4lite.Token.Kw_table; P4lite.Token.Eof ]);
+  check_bool "underscore" true (toks "_" = [ P4lite.Token.Underscore; P4lite.Token.Eof ])
+
+let test_lex_operators () =
+  check_bool "amp3" true
+    (toks "1 &&& 2"
+     = [ P4lite.Token.Number 1L; P4lite.Token.Amp3; P4lite.Token.Number 2L; P4lite.Token.Eof ]);
+  check_bool "cmp" true
+    (toks "a == 1"
+     = [ P4lite.Token.Ident "a"; P4lite.Token.Eq; P4lite.Token.Number 1L; P4lite.Token.Eof ]);
+  check_bool "arrow" true (toks "->" = [ P4lite.Token.Arrow; P4lite.Token.Eof ])
+
+let test_lex_comments () =
+  check_bool "line comment" true (toks "// hi\n42" = [ P4lite.Token.Number 42L; P4lite.Token.Eof ]);
+  check_bool "block comment" true (toks "/* x\ny */ 42" = [ P4lite.Token.Number 42L; P4lite.Token.Eof ]);
+  check_bool "unterminated block raises" true
+    (try ignore (toks "/* oops"); false with P4lite.Lexer.Error _ -> true)
+
+(* --- parser + lowering --- *)
+
+let minimal = {|
+program p;
+action a { nop; }
+table t {
+  key = { ipv4.dst : exact; }
+  actions = { a; }
+}
+control { apply t; }
+|}
+
+let test_minimal_program () =
+  let prog = P4lite.Lower.parse_program minimal in
+  P4ir.Program.validate_exn prog;
+  check_int "one node" 1 (P4ir.Program.num_nodes prog);
+  check_string "program name" "p" (P4ir.Program.name prog);
+  let _, t = Option.get (P4ir.Program.find_table prog "t") in
+  check_string "default is first action" "a" t.P4ir.Table.default_action
+
+let test_control_flow_lowering () =
+  let src = {|
+program p;
+action a { nop; }
+action b { drop; }
+table t1 { key = { ipv4.dst : exact; } actions = { a; b; } }
+table t2 { key = { ipv4.src : exact; } actions = { a; } }
+table t3 { key = { tcp.dport : exact; } actions = { a; } }
+table last { key = { tcp.sport : exact; } actions = { a; } }
+control {
+  if (ipv4.ttl == 0) { apply t2; } else { apply t3; }
+  switch (t1) {
+    case a: { }
+    case b: { }
+  }
+  apply last;
+}
+|} in
+  let prog = P4lite.Lower.parse_program src in
+  P4ir.Program.validate_exn prog;
+  check_int "five nodes" 5 (P4ir.Program.num_nodes prog);
+  check_int "one conditional" 1 (List.length (P4ir.Program.conds prog));
+  (* Both arms rejoin at t1's switch node; its branches go to `last`. *)
+  let paths = P4ir.Program.enumerate_paths prog in
+  check_int "2 arms x 2 switch actions" 4 (List.length paths)
+
+let test_entries_lowered () =
+  let src = {|
+program p;
+action a { nop; }
+action d { drop; }
+table t {
+  key = { ipv4.src : ternary; tcp.dport : exact; }
+  actions = { a; d; }
+  default_action = a;
+  entries = {
+    (10.0.0.0 &&& 0xFF000000, 80) -> d priority 7;
+    (_, 443) -> a;
+  }
+}
+control { apply t; }
+|} in
+  let prog = P4lite.Lower.parse_program src in
+  let _, t = Option.get (P4ir.Program.find_table prog "t") in
+  check_int "two entries" 2 (P4ir.Table.num_entries t);
+  let e = List.hd t.P4ir.Table.entries in
+  check_int "priority" 7 e.P4ir.Table.priority;
+  check_bool "wildcard second entry" true
+    (match (List.nth t.P4ir.Table.entries 1).P4ir.Table.patterns with
+     | [ p; _ ] -> P4ir.Pattern.is_wildcard p
+     | _ -> false)
+
+let expect_error src fragment =
+  match P4lite.Lower.parse_program src with
+  | _ -> Alcotest.failf "expected error mentioning %S" fragment
+  | exception (P4lite.Lower.Error msg | P4lite.Parser.Error msg) ->
+    if not (contains msg fragment) then Alcotest.failf "unexpected message: %s" msg
+
+let test_lowering_errors () =
+  expect_error {|
+program p;
+action a { nop; }
+table t { key = { nosuch.field : exact; } actions = { a; } }
+control { apply t; }
+|} "unknown field";
+  expect_error {|
+program p;
+action a { nop; }
+table t { key = { ipv4.dst : exact; } actions = { a; } }
+control { apply t; apply t; }
+|} "applied more than once";
+  expect_error {|
+program p;
+action a { nop; }
+control { apply missing; }
+|} "unknown table";
+  expect_error {|
+program p;
+action a { nop; }
+table t { key = { ipv4.dst : exact; } actions = { a; } entries = { (_) -> a; } }
+control { apply t; }
+|} "'_' is not allowed"
+
+let test_parse_errors_located () =
+  (match P4lite.Lower.parse_program "program p control {}" with
+   | _ -> Alcotest.fail "should not parse"
+   | exception P4lite.Parser.Error msg ->
+     check_bool "line in message" true (contains msg "line 1")
+   | exception _ -> Alcotest.fail "wrong exception")
+
+(* --- emission --- *)
+
+let test_emit_fixpoint () =
+  let prog = P4lite.Lower.parse_program minimal in
+  let emitted = P4lite.Emit.emit prog in
+  let prog2 = P4lite.Lower.parse_program emitted in
+  check_string "fixpoint" emitted (P4lite.Emit.emit prog2)
+
+let test_emit_execution_equivalence () =
+  (* The emitted program must behave identically under execution. *)
+  let src = {|
+program p;
+action pass { nop; }
+action deny { drop; }
+action stamp { meta.1 = 7; }
+table acl {
+  key = { tcp.dport : exact; }
+  actions = { pass; deny; }
+  default_action = pass;
+  entries = { (666) -> deny; }
+}
+table mark {
+  key = { ipv4.src : exact; }
+  actions = { stamp; pass; }
+  default_action = pass;
+  entries = { (1) -> stamp; (2) -> stamp; }
+}
+control {
+  apply acl;
+  if (ipv4.ttl == 0) { } else { apply mark; }
+}
+|} in
+  let prog = P4lite.Lower.parse_program src in
+  let prog2 = P4lite.Lower.parse_program (P4lite.Emit.emit prog) in
+  let target = Costmodel.Target.bluefield2 in
+  let ex1 = Nicsim.Exec.create (Nicsim.Exec.default_config target) prog in
+  let ex2 = Nicsim.Exec.create (Nicsim.Exec.default_config target) prog2 in
+  let rng = Stdx.Prng.create 5L in
+  let ok = ref true in
+  for _ = 1 to 500 do
+    let pkt =
+      Nicsim.Packet.of_fields
+        [ (P4ir.Field.Ipv4_src, Int64.of_int (Stdx.Prng.int rng 4));
+          (P4ir.Field.Ipv4_ttl, Int64.of_int (Stdx.Prng.int rng 2));
+          (P4ir.Field.Tcp_dport, if Stdx.Prng.bool rng 0.3 then 666L else 80L) ]
+    in
+    let q = Nicsim.Packet.copy pkt in
+    ignore (Nicsim.Exec.run_packet ex1 ~now:0. pkt);
+    ignore (Nicsim.Exec.run_packet ex2 ~now:0. q);
+    if Nicsim.Packet.is_dropped pkt <> Nicsim.Packet.is_dropped q then ok := false;
+    if
+      not
+        (Int64.equal
+           (Nicsim.Packet.get pkt (P4ir.Field.Meta 1))
+           (Nicsim.Packet.get q (P4ir.Field.Meta 1)))
+    then ok := false
+  done;
+  check_bool "emitted program equivalent" true !ok
+
+let test_emit_optimized_program () =
+  (* Programs rewritten by Pipeleon (caches = switch-case tables) still
+     emit and re-parse. *)
+  let prog = P4lite.Lower.parse_program minimal in
+  let tabs =
+    P4ir.Builder.exact_chain ~prefix:"x" ~n:3
+      ~key_of:(fun i -> [| P4ir.Field.Ipv4_src; P4ir.Field.Ipv4_dst; P4ir.Field.Tcp_sport |].(i))
+      ()
+  in
+  ignore prog;
+  let chain = P4ir.Program.linear "opt" tabs in
+  let p = List.hd (Pipeleon.Pipelet.form chain) in
+  let cache = Pipeleon.Cache.build ~name:"c" tabs in
+  let optimized =
+    Pipeleon.Transform.apply chain p [ Pipeleon.Transform.Cached { cache; originals = tabs } ]
+  in
+  let emitted = P4lite.Emit.emit optimized in
+  let reparsed = P4lite.Lower.parse_program emitted in
+  P4ir.Program.validate_exn reparsed;
+  check_int "same node count" (P4ir.Program.num_nodes optimized) (P4ir.Program.num_nodes reparsed)
+
+let () =
+  Alcotest.run "p4lite"
+    [ ( "lexer",
+        [ Alcotest.test_case "numbers" `Quick test_lex_numbers;
+          Alcotest.test_case "idents/keywords" `Quick test_lex_idents_and_keywords;
+          Alcotest.test_case "operators" `Quick test_lex_operators;
+          Alcotest.test_case "comments" `Quick test_lex_comments ] );
+      ( "lowering",
+        [ Alcotest.test_case "minimal" `Quick test_minimal_program;
+          Alcotest.test_case "control flow" `Quick test_control_flow_lowering;
+          Alcotest.test_case "entries" `Quick test_entries_lowered;
+          Alcotest.test_case "errors" `Quick test_lowering_errors;
+          Alcotest.test_case "located errors" `Quick test_parse_errors_located ] );
+      ( "emission",
+        [ Alcotest.test_case "fixpoint" `Quick test_emit_fixpoint;
+          Alcotest.test_case "execution equivalence" `Quick test_emit_execution_equivalence;
+          Alcotest.test_case "optimized programs" `Quick test_emit_optimized_program ] ) ]

@@ -1,0 +1,179 @@
+(* Tests for the profile library: counters, profile derivation from
+   counters, counter fold-back across rewrites, and fused-name codecs. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+let check_string = Alcotest.(check string)
+
+(* --- Counter --- *)
+
+let test_counter_basics () =
+  let c = Profile.Counter.create () in
+  Profile.Counter.incr c ~owner:"t" ~label:"a";
+  Profile.Counter.incr c ~owner:"t" ~label:"a";
+  Profile.Counter.incr ~by:3L c ~owner:"t" ~label:"b";
+  check_bool "get a" true (Int64.equal (Profile.Counter.get c ~owner:"t" ~label:"a") 2L);
+  check_bool "owner total" true (Int64.equal (Profile.Counter.owner_total c "t") 5L);
+  check_bool "missing is zero" true
+    (Int64.equal (Profile.Counter.get c ~owner:"x" ~label:"y") 0L);
+  check_int "dump has 2" 2 (List.length (Profile.Counter.dump c))
+
+let test_counter_diff_snapshot () =
+  let c = Profile.Counter.create () in
+  Profile.Counter.incr ~by:10L c ~owner:"t" ~label:"a";
+  let base = Profile.Counter.snapshot c in
+  Profile.Counter.incr ~by:5L c ~owner:"t" ~label:"a";
+  Profile.Counter.incr ~by:2L c ~owner:"t" ~label:"b";
+  let d = Profile.Counter.diff ~current:c ~baseline:base in
+  check_bool "delta a" true (Int64.equal (Profile.Counter.get d ~owner:"t" ~label:"a") 5L);
+  check_bool "delta b" true (Int64.equal (Profile.Counter.get d ~owner:"t" ~label:"b") 2L);
+  (* Snapshot unaffected by later increments. *)
+  check_bool "snapshot isolated" true
+    (Int64.equal (Profile.Counter.get base ~owner:"t" ~label:"a") 10L)
+
+let test_counter_merge () =
+  let a = Profile.Counter.create () in
+  let b = Profile.Counter.create () in
+  Profile.Counter.incr ~by:2L a ~owner:"t" ~label:"x";
+  Profile.Counter.incr ~by:3L b ~owner:"t" ~label:"x";
+  Profile.Counter.merge_into ~dst:a ~src:b;
+  check_bool "merged" true (Int64.equal (Profile.Counter.get a ~owner:"t" ~label:"x") 5L)
+
+(* --- fused names --- *)
+
+let test_fuse_split () =
+  let pairs = [ ("t1", "allow"); ("t2", "deny") ] in
+  let name = Profile.Counter_map.fuse pairs in
+  check_bool "roundtrip" true (Profile.Counter_map.split_fused name = pairs);
+  check_bool "miss is not fused" true (Profile.Counter_map.split_fused "miss" = []);
+  check_string "single pair" "t:a" (Profile.Counter_map.fuse [ ("t", "a") ])
+
+(* --- Profile --- *)
+
+let table2 name =
+  P4ir.Table.make ~name
+    ~keys:[ P4ir.Table.key P4ir.Field.Ipv4_dst P4ir.Match_kind.Exact ]
+    ~actions:[ P4ir.Action.nop "a"; P4ir.Action.nop "b" ]
+    ~default_action:"b" ()
+
+let test_action_prob_fallback () =
+  let t = table2 "t" in
+  let prof = Profile.empty in
+  check_float "uniform fallback" 0.5 (Profile.action_prob prof ~table:t ~action:"a")
+
+let test_drop_prob () =
+  let acl = P4ir.Builder.acl_table ~name:"acl" ~keys:[ P4ir.Builder.exact_key P4ir.Field.Ipv4_dst ] () in
+  let prof =
+    Profile.set_table "acl"
+      { Profile.action_probs = [ ("allow", 0.3); ("deny", 0.7) ]; update_rate = 0.; locality = -1. }
+      Profile.empty
+  in
+  check_float "drop prob" 0.7 (Profile.drop_prob prof acl)
+
+let test_cache_hit_estimate () =
+  let prof =
+    Profile.set_table "a"
+      { Profile.action_probs = []; update_rate = 0.; locality = 0.8 }
+      (Profile.set_table "b"
+         { Profile.action_probs = []; update_rate = 0.; locality = 0.6 }
+         Profile.empty)
+  in
+  check_float "min of localities" 0.6 (Profile.cache_hit_estimate prof ~table_names:[ "a"; "b" ]);
+  check_float "default when unknown" 0.9
+    (Profile.cache_hit_estimate prof ~table_names:[ "zz" ]);
+  let prof = Profile.with_default_cache_hit 0.5 prof in
+  check_float "default override" 0.5 (Profile.cache_hit_estimate prof ~table_names:[ "zz" ])
+
+let test_of_counters () =
+  let prog = P4ir.Program.linear "p" [ table2 "t" ] in
+  let c = Profile.Counter.create () in
+  Profile.Counter.incr ~by:30L c ~owner:"t" ~label:"a";
+  Profile.Counter.incr ~by:70L c ~owner:"t" ~label:"b";
+  Profile.Counter.incr ~by:8L c ~owner:"t" ~label:"update";
+  let prof = Profile.of_counters ~window:2.0 prog c in
+  let t = table2 "t" in
+  check_float "P(a)" 0.3 (Profile.action_prob prof ~table:t ~action:"a");
+  check_float "update rate over window" 4.0 (Profile.update_rate prof ~table_name:"t")
+
+let test_of_counters_cond () =
+  let prog = P4ir.Program.empty "p" in
+  let prog, id = P4ir.Program.add_node prog (P4ir.Program.Table (table2 "t", P4ir.Program.Uniform None)) in
+  let prog, c_id =
+    P4ir.Program.add_node prog
+      (P4ir.Builder.cond ~name:"c" ~field:P4ir.Field.Ipv4_proto ~op:P4ir.Program.Eq ~arg:6L
+         ~on_true:(Some id) ~on_false:None)
+  in
+  let prog = P4ir.Program.with_root prog (Some c_id) in
+  let counters = Profile.Counter.create () in
+  Profile.Counter.incr ~by:75L counters ~owner:"c" ~label:"true";
+  Profile.Counter.incr ~by:25L counters ~owner:"c" ~label:"false";
+  let prof = Profile.of_counters prog counters in
+  check_float "P(true)" 0.75 (Profile.true_prob prof ~cond_name:"c")
+
+(* --- Counter fold-back --- *)
+
+let test_fold_back_cache () =
+  (* A cache covering t1,t2: its fused action counts decompose onto the
+     originals; the originals' own (miss-path) counts add up. *)
+  let t1 = table2 "t1" and t2 = table2 "t2" in
+  let cache = Pipeleon.Cache.build ~name:"c" [ t1; t2 ] in
+  let prog = P4ir.Program.empty "p" in
+  let prog, id2 = P4ir.Program.add_node prog (P4ir.Program.Table (t2, P4ir.Program.Uniform None)) in
+  let prog, id1 = P4ir.Program.add_node prog (P4ir.Program.Table (t1, P4ir.Program.Uniform (Some id2))) in
+  let branches =
+    List.map
+      (fun (a : P4ir.Action.t) ->
+        if String.equal a.name "miss" then (a.name, Some id1) else (a.name, None))
+      cache.P4ir.Table.actions
+  in
+  let prog, idc = P4ir.Program.add_node prog (P4ir.Program.Table (cache, P4ir.Program.Per_action branches)) in
+  let prog = P4ir.Program.with_root prog (Some idc) in
+  P4ir.Program.validate_exn prog;
+  let counters = Profile.Counter.create () in
+  let fused = Profile.Counter_map.fuse [ ("t1", "a"); ("t2", "b") ] in
+  Profile.Counter.incr ~by:40L counters ~owner:"c" ~label:fused;
+  Profile.Counter.incr ~by:10L counters ~owner:"c" ~label:"miss";
+  Profile.Counter.incr ~by:10L counters ~owner:"t1" ~label:"a";
+  Profile.Counter.incr ~by:10L counters ~owner:"t2" ~label:"b";
+  let folded = Profile.Counter_map.fold_back ~optimized:prog counters in
+  check_bool "t1.a = 40 + 10" true
+    (Int64.equal (Profile.Counter.get folded ~owner:"t1" ~label:"a") 50L);
+  check_bool "t2.b = 40 + 10" true
+    (Int64.equal (Profile.Counter.get folded ~owner:"t2" ~label:"b") 50L);
+  check_bool "cache itself not in fold" true
+    (Int64.equal (Profile.Counter.owner_total folded "c") 0L)
+
+let test_fold_back_regular_and_cond () =
+  let prog = P4ir.Program.empty "p" in
+  let prog, id = P4ir.Program.add_node prog (P4ir.Program.Table (table2 "t", P4ir.Program.Uniform None)) in
+  let prog, c_id =
+    P4ir.Program.add_node prog
+      (P4ir.Builder.cond ~name:"br" ~field:P4ir.Field.Ipv4_proto ~op:P4ir.Program.Eq ~arg:6L
+         ~on_true:(Some id) ~on_false:None)
+  in
+  let prog = P4ir.Program.with_root prog (Some c_id) in
+  let counters = Profile.Counter.create () in
+  Profile.Counter.incr ~by:7L counters ~owner:"t" ~label:"a";
+  Profile.Counter.incr ~by:9L counters ~owner:"br" ~label:"true";
+  let folded = Profile.Counter_map.fold_back ~optimized:prog counters in
+  check_bool "regular passes" true (Int64.equal (Profile.Counter.get folded ~owner:"t" ~label:"a") 7L);
+  check_bool "branch passes" true
+    (Int64.equal (Profile.Counter.get folded ~owner:"br" ~label:"true") 9L)
+
+let () =
+  Alcotest.run "profile"
+    [ ( "counter",
+        [ Alcotest.test_case "basics" `Quick test_counter_basics;
+          Alcotest.test_case "diff/snapshot" `Quick test_counter_diff_snapshot;
+          Alcotest.test_case "merge" `Quick test_counter_merge ] );
+      ("fused-names", [ Alcotest.test_case "fuse/split" `Quick test_fuse_split ]);
+      ( "profile",
+        [ Alcotest.test_case "uniform fallback" `Quick test_action_prob_fallback;
+          Alcotest.test_case "drop prob" `Quick test_drop_prob;
+          Alcotest.test_case "cache hit estimate" `Quick test_cache_hit_estimate;
+          Alcotest.test_case "of_counters" `Quick test_of_counters;
+          Alcotest.test_case "of_counters cond" `Quick test_of_counters_cond ] );
+      ( "fold-back",
+        [ Alcotest.test_case "cache decomposition" `Quick test_fold_back_cache;
+          Alcotest.test_case "regular + cond" `Quick test_fold_back_regular_and_cond ] ) ]

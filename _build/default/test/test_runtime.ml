@@ -1,0 +1,244 @@
+(* Tests for the runtime controller: API mapping through deployed
+   layouts, profiling ticks, redeployment decisions, downtime, and the
+   health monitors. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let target = Costmodel.Target.bluefield2
+
+let fields = [ P4ir.Field.Ipv4_src; P4ir.Field.Ipv4_dst; P4ir.Field.Tcp_sport; P4ir.Field.Tcp_dport ]
+
+let mk_table ?(entries = 3) name field =
+  P4ir.Table.make ~name
+    ~keys:[ P4ir.Builder.exact_key field ]
+    ~actions:[ P4ir.Builder.forward_action "act"; P4ir.Action.nop "def" ]
+    ~default_action:"def"
+    ~entries:
+      (List.init entries (fun j -> P4ir.Table.entry [ P4ir.Pattern.Exact (Int64.of_int j) ] "act"))
+    ()
+
+let program () =
+  P4ir.Program.linear "rt"
+    (List.mapi (fun i f -> mk_table (Printf.sprintf "t%d" i) f) fields)
+
+let make_controller ?(config = Runtime.Controller.default_config) () =
+  let sim = Nicsim.Sim.create target (program ()) in
+  (sim, Runtime.Controller.create ~config sim ~original:(program ()))
+
+let source rng =
+  Traffic.Workload.of_flows ~zipf_s:1.2 rng
+    (Traffic.Workload.random_flows rng ~n:64 ~fields)
+
+let test_insert_reaches_engine () =
+  let sim, ctl = make_controller () in
+  Runtime.Controller.insert ctl ~table:"t0" (P4ir.Table.entry [ P4ir.Pattern.Exact 77L ] "act");
+  let eng = Nicsim.Exec.engine_exn (Nicsim.Sim.exec sim) "t0" in
+  check_int "entry landed" 4 (Nicsim.Engine.num_entries eng);
+  (* The control plane's source of truth tracks it too. *)
+  let _, t0 = Option.get (P4ir.Program.find_table (Runtime.Controller.original_program ctl) "t0") in
+  check_int "original IR updated" 4 (P4ir.Table.num_entries t0)
+
+let test_delete_roundtrip () =
+  let sim, ctl = make_controller () in
+  let e = P4ir.Table.entry [ P4ir.Pattern.Exact 1L ] "act" in
+  Runtime.Controller.delete ctl ~table:"t0" e;
+  let eng = Nicsim.Exec.engine_exn (Nicsim.Sim.exec sim) "t0" in
+  check_int "entry removed" 2 (Nicsim.Engine.num_entries eng)
+
+let test_unknown_table_rejected () =
+  let _, ctl = make_controller () in
+  Alcotest.check_raises "unknown table" (Invalid_argument "Controller: unknown original table zz")
+    (fun () ->
+      Runtime.Controller.insert ctl ~table:"zz" (P4ir.Table.entry [ P4ir.Pattern.Exact 1L ] "act"))
+
+let test_tick_produces_profile () =
+  let sim, ctl = make_controller () in
+  let rng = Stdx.Prng.create 2L in
+  ignore (Nicsim.Sim.run_window sim ~duration:1.0 ~packets:500 ~source:(source rng));
+  let report = Runtime.Controller.tick ctl in
+  (* The folded profile must carry real action probabilities. *)
+  let _, t0 = Option.get (P4ir.Program.find_table (program ()) "t0") in
+  let p_act = Profile.action_prob report.Runtime.Controller.profile ~table:t0 ~action:"act" in
+  let p_def = Profile.action_prob report.Runtime.Controller.profile ~table:t0 ~action:"def" in
+  check_bool "probabilities sum to ~1" true (Float.abs (p_act +. p_def -. 1.) < 1e-6)
+
+let test_redeploy_after_drop_shift () =
+  (* An ACL at the end with a huge drop rate: the first tick should
+     redeploy a layout that performs better. *)
+  let acl =
+    P4ir.Table.add_entry
+      (P4ir.Builder.acl_table ~name:"acl" ~keys:[ P4ir.Builder.exact_key P4ir.Field.Udp_dport ] ())
+      (P4ir.Table.entry [ P4ir.Pattern.Exact 666L ] "deny")
+  in
+  let prog =
+    P4ir.Program.linear "rt2"
+      ((List.mapi (fun i f -> mk_table (Printf.sprintf "t%d" i) f) fields)
+      @ [ acl ])
+  in
+  let sim = Nicsim.Sim.create target prog in
+  let config =
+    { Runtime.Controller.default_config with
+      min_relative_gain = 0.01;
+      optimizer = { Pipeleon.Optimizer.default_config with top_k = 1.0 } }
+  in
+  let ctl = Runtime.Controller.create ~config sim ~original:prog in
+  let rng = Stdx.Prng.create 4L in
+  let src =
+    Traffic.Workload.mark_fraction rng ~rate:0.7 ~field:P4ir.Field.Udp_dport ~value:666L
+      (source rng)
+  in
+  ignore (Nicsim.Sim.run_window sim ~duration:5.0 ~packets:2000 ~source:src);
+  let report = Runtime.Controller.tick ctl in
+  check_bool "reoptimized" true report.Runtime.Controller.reoptimized;
+  check_int "generation bumped" 1 (Runtime.Controller.generation ctl);
+  (* The deployed program must keep behaviour: the denied packets still
+     get dropped, at a lower average cost. *)
+  let s2 = Nicsim.Sim.run_window sim ~duration:5.0 ~packets:2000 ~source:src in
+  check_bool "drops preserved" true (s2.Nicsim.Sim.drop_fraction > 0.5);
+  check_bool "throughput improved or equal" true
+    (s2.Nicsim.Sim.throughput_gbps >= target.Costmodel.Target.line_rate_gbps *. 0.8)
+
+let test_insert_survives_redeploy () =
+  let sim, ctl = make_controller () in
+  Runtime.Controller.insert ctl ~table:"t0" (P4ir.Table.entry [ P4ir.Pattern.Exact 99L ] "act");
+  Runtime.Controller.force_redeploy ctl (program ());
+  (* force_redeploy installs the given IR; entries of surviving tables are
+     carried over by the simulator's live reconfiguration. *)
+  let eng = Nicsim.Exec.engine_exn (Nicsim.Sim.exec sim) "t0" in
+  check_bool "entry survived" true
+    (fst (Nicsim.Engine.lookup eng (Nicsim.Packet.of_fields [ (P4ir.Field.Ipv4_src, 99L) ])) <> None)
+
+let test_downtime_advances_clock () =
+  let config = { Runtime.Controller.default_config with reconfig_downtime = 3.0 } in
+  let sim, ctl = make_controller ~config () in
+  let before = Nicsim.Sim.now sim in
+  Runtime.Controller.force_redeploy ctl (program ());
+  check_bool "downtime charged" true (Nicsim.Sim.now sim -. before >= 3.0)
+
+(* --- monitors --- *)
+
+let test_monitor_low_hit_rate () =
+  let t1 = mk_table "t1" P4ir.Field.Ipv4_src in
+  let cache = Pipeleon.Cache.build ~name:"c" [ t1 ] in
+  let prog = P4ir.Program.empty "m" in
+  let prog, id1 = P4ir.Program.add_node prog (P4ir.Program.Table (t1, P4ir.Program.Uniform None)) in
+  let branches =
+    List.map
+      (fun (a : P4ir.Action.t) ->
+        if String.equal a.name "miss" then (a.name, Some id1) else (a.name, None))
+      cache.P4ir.Table.actions
+  in
+  let prog, idc = P4ir.Program.add_node prog (P4ir.Program.Table (cache, P4ir.Program.Per_action branches)) in
+  let prog = P4ir.Program.with_root prog (Some idc) in
+  let observed =
+    Profile.set_table "c"
+      { Profile.action_probs = [ ("miss", 0.95); (Profile.Counter_map.fuse [ ("t1", "act") ], 0.05) ];
+        update_rate = 0.;
+        locality = -1. }
+      Profile.empty
+  in
+  let issues = Runtime.Monitor.assess ~observed prog in
+  check_bool "low hit flagged" true
+    (List.exists (function Runtime.Monitor.Low_hit_rate _ -> true | _ -> false) issues)
+
+let test_monitor_update_storm () =
+  let t1 = mk_table "t1" P4ir.Field.Ipv4_src and t2 = mk_table "t2" P4ir.Field.Ipv4_dst in
+  let merged = Pipeleon.Merge.build_ternary ~name:"m12" [ t1; t2 ] in
+  let prog = P4ir.Program.linear "m" [ merged ] in
+  let observed =
+    Profile.set_table "m12"
+      { Profile.action_probs = []; update_rate = 50_000.; locality = -1. }
+      Profile.empty
+  in
+  let issues = Runtime.Monitor.assess ~observed prog in
+  check_bool "storm flagged" true
+    (List.exists (function Runtime.Monitor.Update_storm _ -> true | _ -> false) issues)
+
+(* --- incremental reconfiguration --- *)
+
+let test_incremental_diff () =
+  let prog = program () in
+  let renamed =
+    P4ir.Program.linear "rt"
+      (mk_table "t0" P4ir.Field.Ipv4_src
+      :: mk_table "brand_new" P4ir.Field.Udp_sport
+      :: List.filteri (fun i _ -> i >= 2)
+           (List.mapi (fun i f -> mk_table (Printf.sprintf "t%d" i) f) fields))
+  in
+  let changes = Runtime.Incremental.diff ~old_program:prog ~new_program:renamed in
+  check_bool "t1 removed" true (List.mem (Runtime.Incremental.Removed "t1") changes);
+  check_bool "brand_new added" true (List.mem (Runtime.Incremental.Added "brand_new") changes);
+  check_int "two rebuilds" 2 (Runtime.Incremental.rebuild_count changes);
+  (* Entry-only changes are not rebuilds. *)
+  let more_entries =
+    P4ir.Program.linear "rt"
+      (mk_table ~entries:5 "t0" P4ir.Field.Ipv4_src
+      :: List.filteri (fun i _ -> i >= 1)
+           (List.mapi (fun i f -> mk_table (Printf.sprintf "t%d" i) f) fields))
+  in
+  let changes = Runtime.Incremental.diff ~old_program:prog ~new_program:more_entries in
+  check_bool "entries_changed" true
+    (List.mem (Runtime.Incremental.Entries_changed "t0") changes);
+  check_int "no rebuilds" 0 (Runtime.Incremental.rebuild_count changes)
+
+let test_hot_patch_preserves_state () =
+  let sim = Nicsim.Sim.create target (program ()) in
+  Nicsim.Sim.insert sim ~table:"t0" (P4ir.Table.entry [ P4ir.Pattern.Exact 77L ] "act");
+  let rng = Stdx.Prng.create 3L in
+  ignore (Nicsim.Sim.run_window sim ~duration:1.0 ~packets:200 ~source:(source rng));
+  let counters_before =
+    Profile.Counter.owner_total (Nicsim.Exec.counters (Nicsim.Sim.exec sim)) "t0"
+  in
+  (* Patch in a layout that keeps t0..t3 and adds one table. *)
+  let extended =
+    P4ir.Program.linear "rt"
+      ((List.mapi (fun i f -> mk_table (Printf.sprintf "t%d" i) f) fields)
+      @ [ mk_table "extra" P4ir.Field.Udp_dport ])
+  in
+  let rebuilt = Nicsim.Sim.hot_patch sim extended in
+  check_int "only the new table rebuilt" 1 rebuilt;
+  let eng = Nicsim.Exec.engine_exn (Nicsim.Sim.exec sim) "t0" in
+  check_int "dynamic entries survive" 4 (Nicsim.Engine.num_entries eng);
+  let counters_after =
+    Profile.Counter.owner_total (Nicsim.Exec.counters (Nicsim.Sim.exec sim)) "t0"
+  in
+  check_bool "counters survive" true (Int64.equal counters_before counters_after)
+
+let test_incremental_deploy_cheaper () =
+  let run mode =
+    let config =
+      { Runtime.Controller.default_config with
+        reconfig_downtime = 3.0;
+        min_relative_gain = 1e9;
+        deploy_mode = mode }
+    in
+    let sim, ctl = make_controller ~config () in
+    let before = Nicsim.Sim.now sim in
+    Runtime.Controller.force_redeploy ctl (program ());
+    Nicsim.Sim.now sim -. before
+  in
+  let full = run Runtime.Controller.Full in
+  let incr = run Runtime.Controller.Incremental in
+  Alcotest.(check (float 1e-6)) "full pays everything" 3.0 full;
+  (* Identical program: nothing rebuilt, no downtime at all. *)
+  Alcotest.(check (float 1e-6)) "incremental pays nothing for a no-op" 0.0 incr
+
+let () =
+  Alcotest.run "runtime"
+    [ ( "api-mapping",
+        [ Alcotest.test_case "insert reaches engine" `Quick test_insert_reaches_engine;
+          Alcotest.test_case "delete roundtrip" `Quick test_delete_roundtrip;
+          Alcotest.test_case "unknown table" `Quick test_unknown_table_rejected ] );
+      ( "controller",
+        [ Alcotest.test_case "tick profile" `Quick test_tick_produces_profile;
+          Alcotest.test_case "redeploy on drop shift" `Quick test_redeploy_after_drop_shift;
+          Alcotest.test_case "entries survive redeploy" `Quick test_insert_survives_redeploy;
+          Alcotest.test_case "downtime" `Quick test_downtime_advances_clock ] );
+      ( "monitors",
+        [ Alcotest.test_case "low hit rate" `Quick test_monitor_low_hit_rate;
+          Alcotest.test_case "update storm" `Quick test_monitor_update_storm ] );
+      ( "incremental",
+        [ Alcotest.test_case "diff" `Quick test_incremental_diff;
+          Alcotest.test_case "hot patch preserves state" `Quick test_hot_patch_preserves_state;
+          Alcotest.test_case "deploy cost" `Quick test_incremental_deploy_cheaper ] ) ]
