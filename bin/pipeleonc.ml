@@ -7,10 +7,20 @@
 
 open Cmdliner
 
-(* Programs load from the JSON IR or from P4-lite source, by extension. *)
+(* Programs load from the JSON IR or from P4-lite source, by extension.
+   Frontend diagnostics become clean one-line errors, not backtraces. *)
 let read_program path =
-  if Filename.check_suffix path ".p4l" then P4lite.Lower.load_file path
-  else P4ir.Serialize.load path
+  try
+    if Filename.check_suffix path ".p4l" then P4lite.Lower.load_file path
+    else P4ir.Serialize.load path
+  with
+  | P4lite.Lower.Error msg | P4lite.Parser.Error msg | Failure msg | Invalid_argument msg
+    ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 1
+  | P4lite.Lexer.Error { line; col; msg } ->
+    Printf.eprintf "error: %s\n" (P4lite.Lexer.error_message ~line ~col msg);
+    exit 1
 
 let write_program path prog =
   let text =
@@ -270,6 +280,84 @@ let validate_cmd =
   in
   Cmd.v (Cmd.info "validate" ~doc:"Validate a program file.") Term.(const run $ program_arg)
 
+let fuzz_cmd =
+  let mode_conv =
+    let parse s =
+      match Fuzz.Driver.mode_of_string s with
+      | Some m -> Ok m
+      | None -> Error (`Msg ("unknown mode: " ^ s ^ " (sim-diff|optim-equiv|serialize-roundtrip)"))
+    in
+    Arg.conv (parse, fun fmt m -> Format.pp_print_string fmt (Fuzz.Driver.mode_to_string m))
+  in
+  let mode_arg =
+    Arg.(value & opt mode_conv Fuzz.Driver.Optim_equiv
+         & info [ "m"; "mode" ] ~docv:"MODE"
+             ~doc:"Oracle: sim-diff (reference interpreter vs simulator), optim-equiv \
+                   (original vs optimized program), or serialize-roundtrip.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc:"Generator seed.")
+  in
+  let budget_arg =
+    Arg.(value & opt int 200 & info [ "budget" ] ~docv:"N" ~doc:"Number of generated cases.")
+  in
+  let packets_arg =
+    Arg.(value & opt int 64 & info [ "packets" ] ~docv:"N" ~doc:"Packets replayed per case.")
+  in
+  let out_arg =
+    Arg.(value & opt string "_fuzz"
+         & info [ "o"; "out" ] ~docv:"DIR"
+             ~doc:"Where shrunk repro bundles are written; \"none\" disables writing.")
+  in
+  let mutant_arg =
+    Arg.(value & opt (some string) None
+         & info [ "mutant" ] ~docv:"NAME"
+             ~doc:"Corrupt the optimized program with a seeded bug (oracle self-test); one \
+                   of drop-merged-entry, swap-cache-skip, corrupt-entry-action, flip-cond.")
+  in
+  let replay_arg =
+    Arg.(value & opt (some dir) None
+         & info [ "replay" ] ~docv:"DIR" ~doc:"Re-run a repro bundle instead of fuzzing.")
+  in
+  let run mode seed budget packets out mutant replay target =
+    let mutate =
+      Option.map
+        (fun name ->
+          match Fuzz.Mutate.find name with
+          | Some m -> m
+          | None ->
+            Printf.eprintf "unknown mutant: %s\n" name;
+            exit 2)
+        mutant
+    in
+    match replay with
+    | Some dir -> (
+      match Fuzz.Driver.replay ?mutate ~target mode ~dir with
+      | None ->
+        print_endline "replay: no divergence";
+        exit 0
+      | Some d ->
+        Printf.printf "replay: divergence%s: %s\n"
+          (if d.Fuzz.Oracle.packet_index >= 0 then
+             Printf.sprintf " at packet %d" d.Fuzz.Oracle.packet_index
+           else "")
+          d.Fuzz.Oracle.reason;
+        exit 1)
+    | None ->
+      let out_dir = if out = "none" then None else Some out in
+      let report = Fuzz.Driver.run ?out_dir ?mutate ~n_packets:packets ~target mode ~seed ~budget in
+      print_string (Fuzz.Driver.summary report);
+      if report.Fuzz.Driver.findings <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential conformance fuzzing: generate random programs, profiles and \
+          packet streams; replay them through independent executions; shrink and \
+          persist any divergence.")
+    Term.(const run $ mode_arg $ seed_arg $ budget_arg $ packets_arg $ out_arg $ mutant_arg
+          $ replay_arg $ target_arg)
+
 let () =
   let info =
     Cmd.info "pipeleonc" ~version:"1.0.0"
@@ -278,4 +366,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ optimize_cmd; cost_cmd; profile_cmd; pipelets_cmd; graph_cmd; translate_cmd; validate_cmd ]))
+          [ optimize_cmd; cost_cmd; profile_cmd; pipelets_cmd; graph_cmd; translate_cmd;
+            validate_cmd; fuzz_cmd ]))

@@ -150,9 +150,56 @@ let all_fused_actions tabs ~with_miss =
     [] combos
   |> List.rev
 
-let specificity = function Hit _ -> 1 | Miss -> 0
+(* Rank of each entry within its table's own resolution order (priority,
+   then specificity, then insertion order): among co-matching entries the
+   winner ranks highest; a miss ranks 0. Keyed by physical identity —
+   picks hold the very entry values from [tab.entries]. *)
+let entry_ranks (tab : P4ir.Table.t) =
+  let spec (e : P4ir.Table.entry) =
+    List.fold_left (fun acc p -> acc + P4ir.Pattern.specificity p) 0 e.patterns
+  in
+  let indexed = List.mapi (fun i e -> (i, e)) tab.entries in
+  let cmp (ia, (a : P4ir.Table.entry)) (ib, (b : P4ir.Table.entry)) =
+    match compare b.priority a.priority with
+    | 0 -> ( match compare (spec b) (spec a) with 0 -> compare ia ib | c -> c)
+    | c -> c
+  in
+  let sorted = List.sort cmp indexed in
+  let n = List.length sorted in
+  List.mapi (fun pos (_, e) -> (e, n - pos)) sorted
+
+(* Distinct pick combinations can materialize the same pattern row (an
+   exact hit forces the other table's looser overlapping row to the same
+   values); only the highest-priority one is ever reachable, so emit
+   just that. *)
+let dedup_rows entries =
+  List.rev
+    (List.fold_left
+       (fun acc (e : P4ir.Table.entry) ->
+         match
+           List.partition (fun (o : P4ir.Table.entry) -> o.patterns = e.patterns) acc
+         with
+         | [], _ -> e :: acc
+         | [ old ], rest -> (if old.priority >= e.priority then old else e) :: rest
+         | _ :: _ :: _, _ -> assert false)
+       [] entries)
 
 let build_entries tabs fields combos ~pattern_of_constraint =
+  let ranked =
+    List.map (fun (t : P4ir.Table.t) -> (entry_ranks t, List.length t.entries)) tabs
+  in
+  (* The merged priority encodes the per-table ranks lexicographically
+     (earlier table = more significant digit), so the merged lookup
+     resolves overlapping rows exactly as the sequential lookups did.
+     Counting hits alone would tie two overlapping entries of a single
+     original and leave the winner to the engine's tie-break. *)
+  let priority_of picks =
+    List.fold_left2
+      (fun acc (ranks, size) pick ->
+        let r = match pick with Miss -> 0 | Hit e -> List.assq e ranks in
+        (acc * (size + 1)) + r)
+      0 ranked picks
+  in
   List.filter_map
     (fun picks ->
       if List.for_all (fun p -> p = Miss) picks then None
@@ -168,9 +215,9 @@ let build_entries tabs fields combos ~pattern_of_constraint =
         | None -> None  (* conflicting constraints: unsatisfiable combo *)
         | Some cs ->
           let patterns = List.map2 pattern_of_constraint fields cs in
-          let priority = List.fold_left (fun acc p -> acc + specificity p) 0 picks in
-          Some (P4ir.Table.entry ~priority patterns (fused_name tabs picks)))
+          Some (P4ir.Table.entry ~priority:(priority_of picks) patterns (fused_name tabs picks)))
     combos
+  |> dedup_rows
 
 let build_ternary ~name tabs =
   if not (mergeable tabs) then invalid_arg ("Merge.build_ternary: not mergeable: " ^ name);

@@ -66,6 +66,20 @@ let optimize ?(config = default_config) ?(generation = 0) target prof prog =
         compare (topo_index a.pipelet.Pipelet.entry) (topo_index b.pipelet.Pipelet.entry))
       plan.choices
   in
+  (* Group caches go in before the per-pipelet rewrites: a group's
+     recorded [common_exit] is the entry of the pipelet just past the
+     join, and that node disappears when the pipelet is itself rewritten.
+     Group application only adds a node and redirects edges, so every id
+     the pipelet rewrites rely on stays valid, and each later rewrite's
+     redirect fixes up the cache's hit edges in turn. *)
+  let optimized, group_applied =
+    List.fold_left
+      (fun (prog, applied) (ge : Group.evaluated) ->
+        match Group.apply prog ge.group ~cache:ge.cache with
+        | prog -> (prog, ge :: applied)
+        | exception Invalid_argument _ -> (prog, applied))
+      (prog, []) plan.group_choices
+  in
   (* Materialize only the chosen combinations. Realization can still
      fail on pathological entry sets the analytic guards admitted; such a
      choice is simply skipped. *)
@@ -83,13 +97,12 @@ let optimize ?(config = default_config) ?(generation = 0) target prof prog =
           | prog -> (prog, (hot, e) :: applied)
           | exception Invalid_argument _ -> (prog, applied))
         | None | (exception Invalid_argument _) -> (prog, applied))
-      (prog, []) ordered_choices
+      (optimized, []) ordered_choices
   in
-  let plan = { plan with Search.choices = List.rev applied } in
-  let optimized =
-    List.fold_left
-      (fun prog (ge : Group.evaluated) -> Group.apply prog ge.group ~cache:ge.cache)
-      optimized plan.group_choices
+  let plan =
+    { plan with
+      Search.choices = List.rev applied;
+      group_choices = List.rev group_applied }
   in
   { program = optimized;
     plan;

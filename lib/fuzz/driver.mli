@@ -1,0 +1,78 @@
+(** The fuzz loop: generate cases from a seed, run one of the
+    differential oracles over each, shrink what fails, and write repro
+    bundles. Everything is deterministic in (seed, budget, parameters) —
+    two runs produce byte-identical summaries. *)
+
+type mode =
+  | Sim_diff  (** reference interpreter vs [Nicsim.Exec] on the raw program *)
+  | Optim_equiv  (** original vs [Pipeleon.Optimizer]-rewritten program *)
+  | Roundtrip  (** JSON + P4-lite serialization round trips *)
+
+val mode_to_string : mode -> string
+val mode_of_string : string -> mode option
+(** ["sim-diff"], ["optim-equiv"], ["serialize-roundtrip"]. *)
+
+val default_optimizer_config : Pipeleon.Optimizer.config
+(** {!Pipeleon.Optimizer.default_config} with [top_k = 1.0]: fuzzing
+    wants every pipelet rewritten, not just the profitable fifth. *)
+
+val case_rng : seed:int -> int -> Stdx.Prng.t
+(** The derived generator for case [i] of a run with [seed]: any single
+    case regenerates without replaying the cases before it. *)
+
+val check :
+  ?optimizer_config:Pipeleon.Optimizer.config ->
+  ?mutate:Mutate.t ->
+  Costmodel.Target.t ->
+  mode ->
+  Shrink.case ->
+  Oracle.divergence option
+(** One case through the oracle for [mode]. [mutate] only affects
+    [Optim_equiv], where it corrupts the optimized program first. *)
+
+type finding = {
+  case_index : int;
+  divergence : Oracle.divergence;
+  tables : int;  (** tables left after shrinking *)
+  nodes : int;
+  packets : int;  (** packets left after shrinking *)
+  dir : string option;  (** repro bundle location, when written *)
+}
+
+type report = {
+  mode : mode;
+  seed : int;
+  budget : int;
+  packets_per_case : int;
+  findings : finding list;
+}
+
+val run :
+  ?params:Gen.params ->
+  ?n_packets:int ->
+  ?out_dir:string ->
+  ?optimizer_config:Pipeleon.Optimizer.config ->
+  ?mutate:Mutate.t ->
+  ?max_shrink_steps:int ->
+  ?target:Costmodel.Target.t ->
+  mode ->
+  seed:int ->
+  budget:int ->
+  report
+(** [budget] generated cases from [seed] (each case gets its own derived
+    generator, so any single case replays without the rest). Divergent
+    cases are shrunk and, when [out_dir] is given, written to
+    [out_dir/case_<i>/]. [target] defaults to BlueField-2. *)
+
+val summary : report -> string
+(** Deterministic multi-line summary (no timing, no absolute paths
+    beyond [out_dir] as given). *)
+
+val replay :
+  ?optimizer_config:Pipeleon.Optimizer.config ->
+  ?mutate:Mutate.t ->
+  ?target:Costmodel.Target.t ->
+  mode ->
+  dir:string ->
+  Oracle.divergence option
+(** Re-run one persisted repro bundle. *)

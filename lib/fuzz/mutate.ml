@@ -1,0 +1,109 @@
+module Program = P4ir.Program
+module Table = P4ir.Table
+module Action = P4ir.Action
+
+type t = {
+  name : string;
+  apply : Program.t -> Program.t option;
+}
+
+let checked prog =
+  match Program.validate prog with Ok () -> Some prog | Error _ -> None
+
+let drop_merged_entry =
+  { name = "drop-merged-entry";
+    apply =
+      (fun prog ->
+        List.find_opt
+          (fun (_, (t : Table.t)) ->
+            (match t.role with Table.Merged _ -> true | _ -> false) && t.entries <> [])
+          (Program.tables prog)
+        |> Option.map (fun (id, _) ->
+               Program.update_table prog id (fun t ->
+                   { t with Table.entries = List.tl t.Table.entries }))) }
+
+let is_cache (t : Table.t) = match t.role with Table.Cache _ -> true | _ -> false
+
+let swap_cache_skip =
+  { name = "swap-cache-skip";
+    apply =
+      (fun prog ->
+        List.find_map
+          (fun id ->
+            match Program.find_exn prog id with
+            | Program.Table (tab, Program.Per_action branches) when is_cache tab ->
+              let miss =
+                match List.assoc_opt tab.Table.default_action branches with
+                | Some n -> n
+                | None -> None
+              in
+              List.find_map
+                (fun (a, n) ->
+                  if a <> tab.Table.default_action && n <> miss then Some n else None)
+                branches
+              |> Option.map (fun hit_target ->
+                     List.map
+                       (fun (a, n) ->
+                         if a = tab.Table.default_action then (a, hit_target) else (a, n))
+                       branches)
+              |> fun branches' ->
+              Option.bind branches' (fun branches' ->
+                  checked
+                    (Program.gc
+                       (Program.set_node prog id
+                          (Program.Table (tab, Program.Per_action branches')))))
+            | _ -> None)
+          (Program.node_ids prog)) }
+
+let corrupt_entry_action =
+  { name = "corrupt-entry-action";
+    apply =
+      (fun prog ->
+        List.find_map
+          (fun (id, (tab : Table.t)) ->
+            let rec at i = function
+              | [] -> None
+              | (e : Table.entry) :: rest -> (
+                let current = Table.find_action_exn tab e.action in
+                let alternative =
+                  List.find_opt
+                    (fun (a : Action.t) ->
+                      (not (String.equal a.name e.action)) && a.prims <> current.Action.prims)
+                    tab.actions
+                in
+                match alternative with
+                | Some alt ->
+                  Some
+                    (Program.update_table prog id (fun t ->
+                         { t with
+                           Table.entries =
+                             List.mapi
+                               (fun j e' ->
+                                 if j = i then { e' with Table.action = alt.Action.name }
+                                 else e')
+                               t.Table.entries }))
+                | None -> at (i + 1) rest)
+            in
+            at 0 tab.entries)
+          (Program.tables prog)) }
+
+let negate = function
+  | Program.Eq -> Program.Neq
+  | Program.Neq -> Program.Eq
+  | Program.Lt -> Program.Ge
+  | Program.Ge -> Program.Lt
+  | Program.Gt -> Program.Le
+  | Program.Le -> Program.Gt
+
+let flip_cond =
+  { name = "flip-cond";
+    apply =
+      (fun prog ->
+        match Program.conds prog with
+        | [] -> None
+        | (id, c) :: _ ->
+          Some (Program.set_node prog id (Program.Cond { c with Program.op = negate c.op }))) }
+
+let all = [ drop_merged_entry; swap_cache_skip; corrupt_entry_action; flip_cond ]
+
+let find name = List.find_opt (fun m -> String.equal m.name name) all

@@ -1,0 +1,28 @@
+(** Seeded bugs for validating the oracle itself: small corruptions of
+    an optimized (or plain) program that the equivalence check must
+    catch. A mutation returns [None] when the program has nothing of the
+    targeted shape (e.g. no merged table), in which case the check
+    passes vacuously. *)
+
+type t = {
+  name : string;
+  apply : P4ir.Program.t -> P4ir.Program.t option;
+}
+
+val drop_merged_entry : t
+(** Delete the first entry of the first [Merged] table — a lost
+    cross-product row, the classic table-merge bug. *)
+
+val swap_cache_skip : t
+(** Rewire a cache's miss branch to its hit continuation, so misses skip
+    the covered original tables entirely. *)
+
+val corrupt_entry_action : t
+(** Repoint the first entry (of the first table with >= 2 behaviourally
+    distinct actions) at a different action. *)
+
+val flip_cond : t
+(** Negate the comparison operator of the first conditional node. *)
+
+val all : t list
+val find : string -> t option

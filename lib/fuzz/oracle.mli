@@ -1,0 +1,50 @@
+(** Differential checks: replay a packet stream through two independent
+    executions and report the first observable divergence. *)
+
+type divergence = {
+  packet_index : int;  (** -1 when not tied to a packet (e.g. textual
+                           round-trip instability or a crash) *)
+  reason : string;
+}
+
+val supported : P4ir.Program.t -> bool
+(** [sim_diff] and [roundtrip] require every table to be [Regular]: the
+    reference interpreter models neither flow-cache fills nor migration
+    metadata, so programs already rewritten by Pipeleon are compared
+    engine-vs-engine ([replay_diff]) instead. *)
+
+val sim_diff : Costmodel.Target.t -> P4ir.Program.t -> Gen.flow list -> divergence option
+(** {!Refsim} vs {!Nicsim.Exec} on the same program, comparing final
+    field state, drop flag, egress and the per-packet action trace.
+    @raise Invalid_argument if not {!supported}. *)
+
+val replay_diff :
+  Costmodel.Target.t -> P4ir.Program.t -> P4ir.Program.t -> Gen.flow list -> divergence option
+(** The same packet stream through two programs on {!Nicsim.Exec},
+    comparing final observable state (traces necessarily differ across a
+    rewrite and are reported, not compared). Both executions are
+    stateful across the stream, so flow-cache warm-up behaves as it
+    would on the NIC. *)
+
+val optim_equiv :
+  ?config:Pipeleon.Optimizer.config ->
+  ?mutate:(P4ir.Program.t -> P4ir.Program.t option) ->
+  Costmodel.Target.t ->
+  Profile.t ->
+  P4ir.Program.t ->
+  Gen.flow list ->
+  divergence option
+(** Run {!Pipeleon.Optimizer.optimize}, then force a ternary merge on
+    the first legal adjacent pair of regular tables in each pipelet (the
+    cost model never finds such merges profitable, so without forcing
+    them {!Pipeleon.Merge.build_ternary} would go unfuzzed), and check
+    the rewritten program against the original with {!replay_diff}.
+    [mutate] is applied to the rewritten program first (seeded-bug
+    detection tests); if it returns [None] — the mutation found nothing
+    to corrupt — the check passes vacuously. Optimizer exceptions are
+    reported as divergences. *)
+
+val roundtrip : Costmodel.Target.t -> P4ir.Program.t -> Gen.flow list -> divergence option
+(** Serialization oracle: JSON print/parse/print stability, P4-lite
+    emit/parse/emit fixpoint, and behavioural equality of the reparsed
+    program via {!sim_diff}-style comparison against the original. *)

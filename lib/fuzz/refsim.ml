@@ -1,0 +1,194 @@
+module Program = P4ir.Program
+module Table = P4ir.Table
+module Field = P4ir.Field
+module Action = P4ir.Action
+module Pattern = P4ir.Pattern
+
+type obs = {
+  fields : (Field.t * P4ir.Value.t) list;
+  dropped : bool;
+  egress : int option;
+  trace : (string * string) list;
+}
+
+let observed_fields =
+  List.filter (fun f -> not (Field.equal f Field.Next_tab_id)) Field.all_standard
+  @ List.init 16 (fun i -> Field.Meta i)
+
+(* --- packet state (independent of Nicsim.Packet) --- *)
+
+type state = {
+  values : (Field.t, int64) Hashtbl.t;
+  mutable dropped : bool;
+  mutable egress : int option;
+  mutable trace : (string * string) list;  (* reversed *)
+}
+
+let default_value = function
+  | Field.Eth_type -> 0x0800L
+  | Field.Ipv4_ttl -> 64L
+  | Field.Ipv4_proto -> 6L
+  | Field.Ipv4_len -> 512L
+  | _ -> 0L
+
+let low_bits width v =
+  if width >= 64 then v else Int64.logand v (Int64.sub (Int64.shift_left 1L width) 1L)
+
+let get st f =
+  match Hashtbl.find_opt st.values f with Some v -> v | None -> default_value f
+
+let set st f v = Hashtbl.replace st.values f (low_bits (Field.width f) v)
+
+(* --- pattern matching (independent of P4ir.Pattern.matches) --- *)
+
+let popcount v =
+  let rec go acc v = if Int64.equal v 0L then acc else go (acc + 1) (Int64.logand v (Int64.sub v 1L)) in
+  go 0 v
+
+let prefix_mask ~width len =
+  if len <= 0 then 0L
+  else if len >= width then low_bits width Int64.minus_one
+  else low_bits width (Int64.shift_left Int64.minus_one (width - len))
+
+let pattern_matches ~width pat v =
+  match pat with
+  | Pattern.Exact want -> Int64.equal (low_bits width v) (low_bits width want)
+  | Pattern.Lpm (want, len) ->
+    let m = prefix_mask ~width len in
+    Int64.equal (Int64.logand v m) (Int64.logand want m)
+  | Pattern.Ternary (want, mask) ->
+    Int64.equal (Int64.logand v mask) (Int64.logand want mask)
+  | Pattern.Range (lo, hi) ->
+    Int64.unsigned_compare lo v <= 0 && Int64.unsigned_compare v hi <= 0
+
+(* Number of exactly-constrained bits, the P4LITE.md tie-break between
+   equal-priority entries. Exact (and degenerate ranges) pin the whole
+   field, counted as 64 whatever the width. *)
+let pattern_specificity = function
+  | Pattern.Exact _ -> 64
+  | Pattern.Lpm (_, len) -> len
+  | Pattern.Ternary (_, mask) -> popcount mask
+  | Pattern.Range (lo, hi) -> if Int64.equal lo hi then 64 else 0
+
+(* List scan: highest priority wins, ties by total specificity, then by
+   entry order (earliest). *)
+let lookup st (tab : Table.t) =
+  let entry_matches (e : Table.entry) =
+    List.for_all2
+      (fun (k : Table.key) p -> pattern_matches ~width:(Field.width k.field) p (get st k.field))
+      tab.keys e.patterns
+  in
+  let spec (e : Table.entry) =
+    List.fold_left (fun acc p -> acc + pattern_specificity p) 0 e.patterns
+  in
+  List.fold_left
+    (fun best e ->
+      if not (entry_matches e) then best
+      else
+        match best with
+        | None -> Some e
+        | Some (b : Table.entry) ->
+          if e.Table.priority > b.priority || (e.priority = b.priority && spec e > spec b) then
+            Some e
+          else best)
+    None tab.entries
+
+(* --- primitives --- *)
+
+let apply_primitive st = function
+  | Action.Set_field (f, v) -> set st f v
+  | Action.Set_from (dst, src) -> set st dst (get st src)
+  | Action.Add_const (f, v) -> set st f (Int64.add (get st f) v)
+  | Action.Dec_ttl ->
+    let ttl = get st Field.Ipv4_ttl in
+    if Int64.compare ttl 0L > 0 then set st Field.Ipv4_ttl (Int64.sub ttl 1L)
+  | Action.Forward port -> st.egress <- Some port
+  | Action.Drop -> st.dropped <- true
+  | Action.Nop -> ()
+
+(* --- traversal --- *)
+
+let eval_cmp op lhs rhs =
+  let c = Int64.unsigned_compare lhs rhs in
+  match op with
+  | Program.Eq -> c = 0
+  | Program.Neq -> c <> 0
+  | Program.Lt -> c < 0
+  | Program.Gt -> c > 0
+  | Program.Le -> c <= 0
+  | Program.Ge -> c >= 0
+
+let run prog flow =
+  let st = { values = Hashtbl.create 32; dropped = false; egress = None; trace = [] } in
+  List.iter (fun (f, v) -> set st f v) flow;
+  let limit = Program.num_nodes prog + 1 in
+  let steps = ref 0 in
+  let rec step = function
+    | None -> ()
+    | Some id ->
+      incr steps;
+      if !steps > limit then failwith "Refsim.run: node revisited (cycle?)";
+      (match Program.find_exn prog id with
+       | Program.Cond c ->
+         let taken = eval_cmp c.op (get st c.field) c.arg in
+         st.trace <- (c.cond_name, if taken then "true" else "false") :: st.trace;
+         step (if taken then c.on_true else c.on_false)
+       | Program.Table (tab, nxt) ->
+         let action_name =
+           match lookup st tab with Some e -> e.Table.action | None -> tab.default_action
+         in
+         st.trace <- (tab.name, action_name) :: st.trace;
+         let action = Table.find_action_exn tab action_name in
+         List.iter (apply_primitive st) action.Action.prims;
+         if not st.dropped then
+           step
+             (match nxt with
+              | Program.Uniform n -> n
+              | Program.Per_action branches -> (
+                match List.assoc_opt action_name branches with Some n -> n | None -> None)))
+  in
+  step (Program.root prog);
+  { fields = List.map (fun f -> (f, get st f)) observed_fields;
+    dropped = st.dropped;
+    egress = st.egress;
+    trace = List.rev st.trace }
+
+(* --- comparison --- *)
+
+let diff_obs ?(compare_trace = false) (a : obs) (b : obs) =
+  let trace_diff () =
+    if compare_trace && a.trace <> b.trace then begin
+      let render t =
+        String.concat " " (List.map (fun (n, o) -> Printf.sprintf "%s:%s" n o) t)
+      in
+      Some (Printf.sprintf "trace: [%s] vs [%s]" (render a.trace) (render b.trace))
+    end
+    else None
+  in
+  if a.dropped <> b.dropped then
+    Some (Printf.sprintf "dropped: %b vs %b" a.dropped b.dropped)
+  else if a.dropped then
+    (* A dropped packet never leaves the NIC: its header state and
+       egress are unobservable, so transforms are free to drop early
+       (reordering a dropping table forward) without being flagged. *)
+    trace_diff ()
+  else begin
+    let field_diff =
+      List.find_map
+        (fun ((f, va), (g, vb)) ->
+          assert (Field.equal f g);
+          if Int64.equal va vb then None
+          else Some (Printf.sprintf "%s: %Ld vs %Ld" (Field.to_string f) va vb))
+        (List.combine a.fields b.fields)
+    in
+    match field_diff with
+    | Some d -> Some d
+    | None ->
+      if a.egress <> b.egress then begin
+        let p = function None -> "none" | Some p -> string_of_int p in
+        Some (Printf.sprintf "egress: %s vs %s" (p a.egress) (p b.egress))
+      end
+      else trace_diff ()
+  end
+
+let equal_obs ?compare_trace a b = diff_obs ?compare_trace a b = None

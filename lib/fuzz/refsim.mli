@@ -1,0 +1,38 @@
+(** Independent reference interpreter — the fuzzer's oracle.
+
+    Implements the P4-lite execution semantics (docs/P4LITE.md) directly:
+    naive list-scan table lookup (highest priority, then most specific,
+    then first in entry order), straightforward primitive application,
+    and DAG traversal, over its own packet state. It deliberately shares
+    no code with {!Nicsim.Exec}, {!Nicsim.Engine} or {!P4ir.Table.lookup},
+    so a bug in the optimized engines cannot hide in the oracle too. *)
+
+type obs = {
+  fields : (P4ir.Field.t * P4ir.Value.t) list;
+      (** final value of every field in {!observed_fields}, same order *)
+  dropped : bool;
+  egress : int option;
+  trace : (string * string) list;
+      (** (table, action fired) or (conditional, ["true"]/["false"]) per
+          node traversed, in execution order *)
+}
+
+val observed_fields : P4ir.Field.t list
+(** The fields compared between executions: every standard header field
+    except [Next_tab_id] (private to heterogeneous migration), plus
+    metadata slots 0-15. *)
+
+val run : P4ir.Program.t -> (P4ir.Field.t * P4ir.Value.t) list -> obs
+(** Execute one packet, given as field assignments over the standard
+    packet defaults (zero except [eth_type]=0x0800, [ipv4_ttl]=64,
+    [ipv4_proto]=6, [ipv4_len]=512 — mirroring {!Nicsim.Packet.create}).
+    @raise Failure on a cycle (more node visits than nodes). *)
+
+val equal_obs : ?compare_trace:bool -> obs -> obs -> bool
+
+val diff_obs : ?compare_trace:bool -> obs -> obs -> string option
+(** First observable difference, rendered for a divergence report. A
+    packet dropped by both executions compares equal whatever its field
+    state: dropped packets never leave the NIC, so transforms may
+    legitimately drop earlier (e.g. reordering a dropping table forward)
+    with different intermediate header contents. *)

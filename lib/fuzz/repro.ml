@@ -1,0 +1,128 @@
+module Json = P4ir.Json
+module Program = P4ir.Program
+module Table = P4ir.Table
+module Field = P4ir.Field
+
+(* --- profiles --- *)
+
+let profile_to_json prog profile =
+  let tables =
+    List.filter_map
+      (fun (_, (tab : Table.t)) ->
+        Option.map
+          (fun (s : Profile.table_stats) ->
+            ( tab.name,
+              Json.Obj
+                [ ("action_probs", Json.Obj (List.map (fun (a, p) -> (a, Json.Float p)) s.action_probs));
+                  ("update_rate", Json.Float s.update_rate);
+                  ("locality", Json.Float s.locality) ] ))
+          (Profile.table_stats profile tab.name))
+      (Program.tables prog)
+  in
+  let conds =
+    List.filter_map
+      (fun (_, (c : Program.cond)) ->
+        Option.map
+          (fun (s : Profile.cond_stats) ->
+            (c.cond_name, Json.Obj [ ("true_prob", Json.Float s.true_prob) ]))
+          (Profile.cond_stats profile c.cond_name))
+      (Program.conds prog)
+  in
+  Json.Obj
+    [ ("default_cache_hit", Json.Float (Profile.default_cache_hit profile));
+      ("tables", Json.Obj tables);
+      ("conds", Json.Obj conds) ]
+
+let obj_fields = function
+  | Json.Obj fields -> fields
+  | _ -> invalid_arg "Repro: expected a JSON object"
+
+let profile_of_json json =
+  let profile =
+    match Json.member_opt "default_cache_hit" json with
+    | Some v -> Profile.with_default_cache_hit (Json.get_float v) Profile.empty
+    | None -> Profile.empty
+  in
+  let profile =
+    List.fold_left
+      (fun profile (name, stats) ->
+        Profile.set_table name
+          { Profile.action_probs =
+              List.map
+                (fun (a, p) -> (a, Json.get_float p))
+                (obj_fields (Json.member "action_probs" stats));
+            update_rate = Json.get_float (Json.member "update_rate" stats);
+            locality = Json.get_float (Json.member "locality" stats) }
+          profile)
+      profile
+      (match Json.member_opt "tables" json with Some t -> obj_fields t | None -> [])
+  in
+  List.fold_left
+    (fun profile (name, stats) ->
+      Profile.set_cond name
+        { Profile.true_prob = Json.get_float (Json.member "true_prob" stats) }
+        profile)
+    profile
+    (match Json.member_opt "conds" json with Some c -> obj_fields c | None -> [])
+
+(* --- packets --- *)
+
+let packets_to_json packets =
+  Json.List
+    (List.map
+       (fun flow ->
+         Json.Obj (List.map (fun (f, v) -> (Field.to_string f, Json.Int v)) flow))
+       packets)
+
+let packets_of_json json =
+  List.map
+    (fun flow -> List.map (fun (f, v) -> (Field.of_string f, Json.get_int v)) (obj_fields flow))
+    (Json.to_list json)
+
+(* --- files --- *)
+
+let rec mkdir_p dir =
+  if dir = "" || dir = "." || dir = "/" || Sys.file_exists dir then ()
+  else begin
+    mkdir_p (Filename.dirname dir);
+    Sys.mkdir dir 0o755
+  end
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_case ~dir (case : Shrink.case) =
+  mkdir_p dir;
+  (* repro.json is the replay source of truth: the IR round-trips byte
+     for byte, keeping node ids and conditional names (and with them the
+     profile attachment and the optimizer's choices). The .p4l rendering
+     is a courtesy for humans — parsing it back renames conditionals. *)
+  P4ir.Serialize.save (Filename.concat dir "repro.json") case.program;
+  (match P4lite.Emit.emit case.program with
+   | src -> write_file (Filename.concat dir "repro.p4l") src
+   | exception P4lite.Emit.Unstructured _ -> ());
+  write_file
+    (Filename.concat dir "profile.json")
+    (Json.to_string ~indent:2 (profile_to_json case.program case.profile) ^ "\n");
+  write_file
+    (Filename.concat dir "packets.json")
+    (Json.to_string ~indent:2 (packets_to_json case.packets) ^ "\n")
+
+let load_case ~dir : Shrink.case =
+  let json = Filename.concat dir "repro.json" in
+  let program =
+    if Sys.file_exists json then P4ir.Serialize.load json
+    else P4lite.Lower.parse_program (read_file (Filename.concat dir "repro.p4l"))
+  in
+  { Shrink.program;
+    profile = profile_of_json (Json.of_string_exn (read_file (Filename.concat dir "profile.json")));
+    packets = packets_of_json (Json.of_string_exn (read_file (Filename.concat dir "packets.json"))) }

@@ -100,12 +100,21 @@ let sort_groups lpm_ordered groups =
     List.sort (fun a b -> compare b.total_prefix a.total_prefix) groups
   else groups
 
+(* Two entries with the same masked key collapse to one hash slot; keep
+   the one the reference list scan would pick — higher priority, ties to
+   the earlier insertion. (Same shape means same masks, so specificity
+   cannot break the tie either.) *)
+let hash_keep tbl key (e : P4ir.Table.entry) =
+  match Hashtbl.find_opt tbl key with
+  | Some (old : P4ir.Table.entry) when old.priority >= e.priority -> ()
+  | _ -> Hashtbl.replace tbl key e
+
 let shaped_insert st ~lpm_ordered (tab : P4ir.Table.t) (e : P4ir.Table.entry) =
   let shape = shape_of_entry tab e in
   let key = masked_key tab shape (entry_values e) in
   match List.find_opt (fun g -> g.shape = shape) st with
   | Some g ->
-    Hashtbl.replace g.tbl key e;
+    hash_keep g.tbl key e;
     sort_groups lpm_ordered
       (List.map
          (fun g' ->
@@ -129,7 +138,7 @@ let create (tab : P4ir.Table.t) =
     | _ when has_range tab -> Linear (ref tab.entries)
     | _ when all_exact tab ->
       let h = Hashtbl.create (max 64 (List.length tab.entries)) in
-      List.iter (fun e -> Hashtbl.replace h (exact_key_of_entry e) e) tab.entries;
+      List.iter (fun e -> hash_keep h (exact_key_of_entry e) e) tab.entries;
       Exact_hash h
     | _ ->
       let lpm_ordered =

@@ -19,6 +19,8 @@ type pending_fill = {
   mutable ended_early : bool;  (* a drop cut the covered region short *)
 }
 
+type trace_event = { node : P4ir.Program.node_id; name : string; outcome : string }
+
 type t = {
   cfg : config;
   mutable prog : P4ir.Program.t;
@@ -27,6 +29,7 @@ type t = {
   ctrs : Profile.Counter.t;
   mutable seen : int;
   mutable drops : int;
+  mutable tracer : (trace_event -> unit) option;
 }
 
 let create cfg prog =
@@ -38,7 +41,8 @@ let create cfg prog =
       Hashtbl.replace engines tab.name e;
       Hashtbl.replace node_engine id e)
     (P4ir.Program.tables prog);
-  { cfg; prog; engines; node_engine; ctrs = Profile.Counter.create (); seen = 0; drops = 0 }
+  { cfg; prog; engines; node_engine; ctrs = Profile.Counter.create (); seen = 0; drops = 0;
+    tracer = None }
 
 let program t = t.prog
 let config t = t.cfg
@@ -54,6 +58,13 @@ let packets_seen t = t.seen
 let drops_seen t = t.drops
 
 let reset_counters t = Profile.Counter.clear t.ctrs
+
+let set_tracer t hook = t.tracer <- hook
+
+let trace t node name outcome =
+  match t.tracer with
+  | Some f -> f { node; name; outcome }
+  | None -> ()
 
 let core_factor (target : Costmodel.Target.t) = function
   | Costmodel.Cost.Asic -> 1.0
@@ -129,6 +140,7 @@ let run_packet t ~now pkt =
          latency := !latency +. (target.l_cond *. factor);
          let taken = P4ir.Program.eval_cond c (Packet.get pkt c.field) in
          let outcome = if taken then "true" else "false" in
+         trace t id c.cond_name outcome;
          latency := bump c.cond_name outcome !latency;
          (* Group caches cover branch nodes too: record the outcome so
             the fill's fused action name identifies the arm taken. *)
@@ -147,6 +159,7 @@ let run_packet t ~now pkt =
            match result with Some e -> e.P4ir.Table.action | None -> tab.default_action
          in
          let action = P4ir.Table.find_action_exn tab action_name in
+         trace t id tab.name action_name;
          (* Register a pending flow-cache fill on auto-insert cache miss,
             keyed on the packet's current field values. *)
          (match (tab.role, result) with

@@ -37,6 +37,17 @@ val run_packet : t -> now:float -> Packet.t -> float
 val packets_seen : t -> int
 val drops_seen : t -> int
 
+type trace_event = {
+  node : P4ir.Program.node_id;
+  name : string;  (** table or conditional name *)
+  outcome : string;  (** action fired, or ["true"]/["false"] for branches *)
+}
+
+val set_tracer : t -> (trace_event -> unit) option -> unit
+(** Install (or clear) a per-step hook invoked once per node the packet
+    traverses, in execution order — the differential fuzzer's action
+    trace. Tracing is off by default and costs nothing when unset. *)
+
 val sync_entries_to_ir : t -> P4ir.Program.t
 (** The program with each table's [entries] replaced by the engine's
     current dynamic contents — what the optimizer should look at. *)

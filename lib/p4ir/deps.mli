@@ -5,7 +5,9 @@
     a table's reads are its key fields plus fields its actions read; its
     writes are fields its actions write. Packet drops commute with each
     other (a packet dropped by any ACL is dropped regardless of order), so
-    [Drop] is not treated as a write. *)
+    [Drop] is not treated as a write. [Forward] is a write to the implicit
+    egress port (last one executed wins), so two forwarding tables carry
+    an {!Action_dep} even when no header field conflicts. *)
 
 type kind =
   | Match_dep  (** A writes a field B matches or reads *)

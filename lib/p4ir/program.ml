@@ -169,6 +169,13 @@ let reachable t =
   visit t.prog_root;
   List.rev !order
 
+let gc t =
+  let live = Hashtbl.create 16 in
+  List.iter (fun id -> Hashtbl.replace live id ()) (reachable t);
+  { t with
+    nodes =
+      IntMap.filter (fun id _ -> Hashtbl.mem live id) t.nodes }
+
 let tables t =
   let topo = try topological_order t with Invalid_argument _ -> node_ids t in
   List.filter_map

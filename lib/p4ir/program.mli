@@ -79,6 +79,11 @@ val topological_order : t -> node_id list
 val reachable : t -> node_id list
 (** Nodes reachable from the root, in preorder. *)
 
+val gc : t -> t
+(** Drop every node not reachable from the root. Used after edge
+    rewrites (shrinking, mutation) that may orphan whole subgraphs,
+    since {!validate} requires full reachability. *)
+
 val map_tables : t -> (node_id -> Table.t -> Table.t) -> t
 (** Rewrite every table in place (names may change; nexts are kept). *)
 

@@ -1,6 +1,9 @@
 type located = { token : Token.t; line : int; col : int }
 
-exception Error of string
+exception Error of { line : int; col : int; msg : string }
+
+let error_message ~line ~col msg =
+  Printf.sprintf "lex error at line %d, col %d: %s" line col msg
 
 type state = {
   src : string;
@@ -9,8 +12,7 @@ type state = {
   mutable col : int;
 }
 
-let fail st msg =
-  raise (Error (Printf.sprintf "lex error at line %d, col %d: %s" st.line st.col msg))
+let fail st msg = raise (Error { line = st.line; col = st.col; msg })
 
 let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
 

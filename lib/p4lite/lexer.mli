@@ -6,8 +6,13 @@
 
 type located = { token : Token.t; line : int; col : int }
 
-exception Error of string
-(** Message includes line and column. *)
+exception Error of { line : int; col : int; msg : string }
+(** Lexical error with the source position where it occurred, so callers
+    (the parser, the CLI) can report "line N, col M" uniformly with parse
+    errors. *)
+
+val error_message : line:int -> col:int -> string -> string
+(** Canonical rendering: ["lex error at line N, col M: msg"]. *)
 
 val tokenize : string -> located list
 (** The whole input, ending with an [Eof] token. @raise Error. *)

@@ -278,7 +278,9 @@ and parse_block st =
 
 let parse src =
   let st =
-    try { toks = Lexer.tokenize src } with Lexer.Error msg -> raise (Error msg)
+    try { toks = Lexer.tokenize src }
+    with Lexer.Error { line; col; msg } ->
+      raise (Error (Lexer.error_message ~line ~col msg))
   in
   expect st Token.Kw_program "expected 'program'";
   let name = ident st in

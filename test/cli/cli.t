@@ -1,0 +1,104 @@
+Every pipeleonc subcommand, exercised against the firewall example.
+Timings are nondeterministic, so plan lines are stripped of them.
+
+  $ PIPELEONC=../../bin/pipeleonc.exe
+  $ FW=../../examples/firewall.p4l
+
+validate accepts the example:
+
+  $ $PIPELEONC validate $FW
+  ok: 6 nodes, 5 tables
+
+validate rejects a program with an undefined default action, and
+fails cleanly:
+
+  $ cat > bad.p4l <<'P4L'
+  > program bad;
+  > action a { nop; }
+  > table t {
+  >   key = { ipv4.src : exact; }
+  >   actions = { a; }
+  >   default_action = missing;
+  >   size = 4;
+  > }
+  > control { apply t; }
+  > P4L
+  $ $PIPELEONC validate bad.p4l
+  error: lowering error at line 3: default_action missing is not among the table's actions
+  [1]
+
+translate converts P4-lite to the JSON IR and back. The emitted P4-lite
+is a fixpoint immediately; the JSON stabilizes one generation later
+(conditional names are invented from source line numbers):
+
+  $ $PIPELEONC translate $FW fw.json
+  $ $PIPELEONC translate fw.json fw1.p4l
+  $ $PIPELEONC translate fw1.p4l fw2.json
+  $ $PIPELEONC translate fw2.json fw2.p4l
+  $ $PIPELEONC translate fw2.p4l fw3.json
+  $ cmp fw1.p4l fw2.p4l && echo stable
+  stable
+  $ cmp fw2.json fw3.json && echo stable
+  stable
+
+cost prints the model estimate:
+
+  $ $PIPELEONC cost $FW
+  expected latency: 13.949 units
+  throughput estimate: 100.0 Gbps
+  memory: 270 bytes
+
+pipelets ranks hotspots:
+
+  $ $PIPELEONC pipelets $FW
+  pipelet{entry=5 tables=[5;4] exit=3} cost=2.688 reach=1.000
+  pipelet{entry=0 tables=[0] exit=sink} cost=0.690 reach=0.312
+  pipelet{entry=2 tables=[2;1] exit=0} cost=0.547 reach=0.250
+
+graph emits DOT in both modes:
+
+  $ $PIPELEONC graph $FW | head -3
+  digraph "firewall" {
+    rankdir=TB;
+    sink [shape=doublecircle label="out"];
+  $ $PIPELEONC graph --deps $FW | head -2
+  digraph "firewall_deps" {
+    rankdir=LR;
+
+optimize rewrites the program; the plan goes to stderr (timing
+stripped), the program to stdout or -o:
+
+  $ $PIPELEONC optimize $FW -k 1.0 -o opt.p4l 2>&1 | sed 's/ time=[0-9.]*s$//'
+  pipelets=3 considered=3 gain=1.630
+    pipelet@5: gain=1.194 mem=+49152 upd=+1000.0 cache[0..1]
+    pipelet@2: gain=0.186 mem=+57344 upd=+1000.0 cache[0..1]
+    pipelet@0: gain=0.250 mem=+53248 upd=+1000.0 cache[0..0]
+  $ $PIPELEONC validate opt.p4l
+  ok: 9 nodes, 8 tables
+
+profile replays a trace and emits the profile optimize consumes:
+
+  $ cat > trace.csv <<'CSV'
+  > ipv4.src,ipv4.dst,tcp.dport
+  > 3405803783,3325256704,80
+  > 167772161,3325256704,443
+  > 3405803783,16909060,22
+  > 3405803783,3325256704,8080
+  > CSV
+  $ $PIPELEONC profile $FW --trace trace.csv --packets 4 -o prof.json
+  simulated 4 packets: latency 14.23, throughput 100.0 Gbps, drops 25.0%
+  $ $PIPELEONC optimize $FW -k 1.0 -p prof.json -o opt2.p4l 2> /dev/null
+  $ $PIPELEONC validate opt2.p4l
+  ok: 8 nodes, 7 tables
+
+fuzz runs a deterministic smoke budget (all oracles, fixed seed):
+
+  $ $PIPELEONC fuzz --mode sim-diff --seed 1 --budget 20 --packets 16 --out none
+  fuzz mode=sim-diff seed=1 budget=20 packets/case=16
+  divergences=0 cases=20
+  $ $PIPELEONC fuzz --mode optim-equiv --seed 1 --budget 20 --packets 16 --out none
+  fuzz mode=optim-equiv seed=1 budget=20 packets/case=16
+  divergences=0 cases=20
+  $ $PIPELEONC fuzz --mode serialize-roundtrip --seed 1 --budget 10 --packets 16 --out none
+  fuzz mode=serialize-roundtrip seed=1 budget=10 packets/case=16
+  divergences=0 cases=10

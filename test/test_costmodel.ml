@@ -220,8 +220,17 @@ let test_rmt_pack_dependencies () =
   (match Costmodel.Rmt.pack target prog with
    | Costmodel.Rmt.Fits p -> check_int "4 stages" 4 p.Costmodel.Rmt.stages_used
    | Costmodel.Rmt.Does_not_fit m -> Alcotest.fail m);
-  (* Independent tables share stage 1. *)
-  let indep = P4ir.Program.linear "flat" (List.init 4 (fun i -> exact_table (Printf.sprintf "t%d" i))) in
+  (* Independent tables share stage 1. Each writes its own field — two
+     forwarding tables would carry an egress write-write dependency. *)
+  let indep_table i =
+    P4ir.Table.make ~name:(Printf.sprintf "t%d" i)
+      ~keys:[ P4ir.Table.key P4ir.Field.Ipv4_dst P4ir.Match_kind.Exact ]
+      ~actions:
+        [ P4ir.Action.make "set" [ P4ir.Action.Set_field (P4ir.Field.Meta (10 + i), 1L) ];
+          P4ir.Action.nop "def" ]
+      ~default_action:"def" ()
+  in
+  let indep = P4ir.Program.linear "flat" (List.init 4 indep_table) in
   check_int "flat diameter" 1 (Costmodel.Rmt.dependency_diameter indep);
   match Costmodel.Rmt.pack target indep with
   | Costmodel.Rmt.Fits p -> check_int "one stage" 1 p.Costmodel.Rmt.stages_used

@@ -1,0 +1,81 @@
+(* Differential fuzzer smoke tests: bounded, fixed-seed runs of every
+   oracle mode, plus seeded-mutant detection — each known bug shape must
+   be caught within a small budget and shrunk to a tiny replayable
+   repro. Budgets are sized to keep [dune runtest] fast. *)
+
+let smoke_budget = 40
+let mutant_budget = 80
+
+let run ?out_dir ?mutate mode ~seed ~budget =
+  Fuzz.Driver.run ?out_dir ?mutate ~n_packets:32 mode ~seed ~budget
+
+let test_smoke mode () =
+  let r = run mode ~seed:7 ~budget:smoke_budget in
+  Alcotest.(check int)
+    (Fuzz.Driver.mode_to_string mode ^ " clean")
+    0
+    (List.length r.Fuzz.Driver.findings)
+
+let test_deterministic () =
+  let summary () = Fuzz.Driver.summary (run Fuzz.Driver.Optim_equiv ~seed:42 ~budget:50) in
+  Alcotest.(check string) "same summary twice" (summary ()) (summary ())
+
+let temp_dir name =
+  let d = Filename.concat (Filename.get_temp_dir_name ()) ("pipeleon_fuzz_" ^ name) in
+  (try Sys.mkdir d 0o755 with Sys_error _ -> ());
+  d
+
+let test_mutant (m : Fuzz.Mutate.t) () =
+  let out_dir = temp_dir m.name in
+  let r = run ~out_dir ~mutate:m Fuzz.Driver.Optim_equiv ~seed:11 ~budget:mutant_budget in
+  (match r.Fuzz.Driver.findings with
+   | [] -> Alcotest.failf "mutant %s not detected within %d cases" m.name mutant_budget
+   | f :: _ ->
+     if f.Fuzz.Driver.tables > 3 then
+       Alcotest.failf "mutant %s: shrunk repro has %d tables (want <= 3)" m.name
+         f.Fuzz.Driver.tables;
+     (match f.Fuzz.Driver.dir with
+      | None -> Alcotest.fail "no repro bundle written"
+      | Some dir -> (
+        match Fuzz.Driver.replay ~mutate:m Fuzz.Driver.Optim_equiv ~dir with
+        | Some _ -> ()
+        | None -> Alcotest.failf "mutant %s: repro bundle at %s does not replay" m.name dir)))
+
+let test_mutant_replay_clean () =
+  (* A mutant divergence must come from the mutation, not the case: the
+     same bundles replayed without the mutant are clean. *)
+  let m = List.hd Fuzz.Mutate.all in
+  let out_dir = temp_dir (m.name ^ "_clean") in
+  let r = run ~out_dir ~mutate:m Fuzz.Driver.Optim_equiv ~seed:11 ~budget:mutant_budget in
+  match r.Fuzz.Driver.findings with
+  | { Fuzz.Driver.dir = Some dir; _ } :: _ ->
+    Alcotest.(check bool)
+      "clean without mutant" true
+      (Fuzz.Driver.replay Fuzz.Driver.Optim_equiv ~dir = None)
+  | _ -> Alcotest.fail "expected a finding with a bundle"
+
+let test_shrink_bound () =
+  (* Shrinking never invalidates the divergence: re-checking the shrunk
+     case still diverges (exercised via the replay path above); here we
+     just pin the generator's determinism at the case level. *)
+  let rng = Fuzz.Driver.case_rng ~seed:3 5 in
+  let rng' = Fuzz.Driver.case_rng ~seed:3 5 in
+  let c = Fuzz.Gen.case ~n_packets:16 rng in
+  let c' = Fuzz.Gen.case ~n_packets:16 rng' in
+  Alcotest.(check bool) "same case from same derived rng" true (c.Fuzz.Gen.packets = c'.Fuzz.Gen.packets)
+
+let () =
+  let mutant_cases =
+    List.map
+      (fun (m : Fuzz.Mutate.t) ->
+        Alcotest.test_case ("detects " ^ m.name) `Quick (test_mutant m))
+      Fuzz.Mutate.all
+  in
+  Alcotest.run "fuzz"
+    [ ( "smoke",
+        [ Alcotest.test_case "sim-diff clean" `Quick (test_smoke Fuzz.Driver.Sim_diff);
+          Alcotest.test_case "optim-equiv clean" `Quick (test_smoke Fuzz.Driver.Optim_equiv);
+          Alcotest.test_case "roundtrip clean" `Quick (test_smoke Fuzz.Driver.Roundtrip);
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "case generation deterministic" `Quick test_shrink_bound ] );
+      ("mutants", mutant_cases @ [ Alcotest.test_case "bundle clean without mutant" `Quick test_mutant_replay_clean ]) ]

@@ -153,6 +153,22 @@ let test_parse_errors_located () =
      check_bool "line in message" true (contains msg "line 1")
    | exception _ -> Alcotest.fail "wrong exception")
 
+let test_lex_errors_located () =
+  (* A lexical error deep in the file must surface through the parser
+     with its line and column, just like parse errors do. *)
+  (match P4lite.Lower.parse_program "program p;\n\ncontrol {\n  apply $t;\n}" with
+   | _ -> Alcotest.fail "should not lex"
+   | exception P4lite.Parser.Error msg ->
+     check_bool "line in lex message" true (contains msg "line 4");
+     check_bool "col in lex message" true (contains msg "col 9")
+   | exception _ -> Alcotest.fail "wrong exception");
+  (* The raw lexer exception carries the position structurally. *)
+  match P4lite.Lexer.tokenize "x\n  $" with
+  | _ -> Alcotest.fail "should not tokenize"
+  | exception P4lite.Lexer.Error { line; col; _ } ->
+    check_int "lexer line" 2 line;
+    check_int "lexer col" 3 col
+
 (* --- emission --- *)
 
 let test_emit_fixpoint () =
@@ -245,7 +261,8 @@ let () =
           Alcotest.test_case "control flow" `Quick test_control_flow_lowering;
           Alcotest.test_case "entries" `Quick test_entries_lowered;
           Alcotest.test_case "errors" `Quick test_lowering_errors;
-          Alcotest.test_case "located errors" `Quick test_parse_errors_located ] );
+          Alcotest.test_case "located errors" `Quick test_parse_errors_located;
+          Alcotest.test_case "located lex errors" `Quick test_lex_errors_located ] );
       ( "emission",
         [ Alcotest.test_case "fixpoint" `Quick test_emit_fixpoint;
           Alcotest.test_case "execution equivalence" `Quick test_emit_execution_equivalence;
