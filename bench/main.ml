@@ -8,7 +8,10 @@
      main.exe fig9a fig13      run selected experiments
      main.exe list             list experiment names
      main.exe --scale 0.2 ...  shrink ensembles for a quick pass
-     main.exe --bechamel       run the Bechamel micro-suite *)
+     main.exe --bechamel       run the Bechamel micro-suite
+     main.exe perf             nicsim fast-path suite -> BENCH_nicsim.json
+     main.exe perf --smoke     same, tiny iteration counts (CI)
+     main.exe perf --out F     write the JSON artifact to F *)
 
 let target = Costmodel.Target.bluefield2
 
@@ -158,8 +161,23 @@ let run_bechamel () =
 
 (* --- CLI --- *)
 
+let run_perf args =
+  let rec parse args smoke out =
+    match args with
+    | [] -> (smoke, out)
+    | "--smoke" :: rest -> parse rest true out
+    | "--out" :: f :: rest -> parse rest smoke f
+    | a :: _ ->
+      Printf.eprintf "perf: unknown argument %s\n" a;
+      exit 2
+  in
+  let smoke, out = parse args false "BENCH_nicsim.json" in
+  Perf.run ~smoke ~out
+
 let usage () =
-  print_endline "usage: main.exe [--scale F] [--bechamel] [list | all | <experiment>...]";
+  print_endline
+    "usage: main.exe [--scale F] [--bechamel] [perf [--smoke] [--out F] | list | all | \
+     <experiment>...]";
   print_endline "experiments:";
   List.iter
     (fun (e : Experiments.Registry.entry) ->
@@ -168,6 +186,11 @@ let usage () =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  (match args with
+   | "perf" :: rest ->
+     run_perf rest;
+     exit 0
+   | _ -> ());
   let rec parse args names bechamel =
     match args with
     | [] -> (List.rev names, bechamel)

@@ -1,0 +1,272 @@
+(* `main.exe perf`: the nicsim fast-path micro-suite.
+
+   Times the table-engine lookup path by match kind against the
+   pre-fast-path implementation ({!Baseline}), engine construction,
+   single-packet execution, and the window drivers (sequential, batched,
+   parallel), then writes the numbers to a JSON artifact (default
+   BENCH_nicsim.json) so CI can track them. *)
+
+(* --- timing --- *)
+
+let now () = Unix.gettimeofday ()
+
+(* Best-of-[reps] mean ns/op, with one untimed warmup pass. *)
+let time_ns ?(reps = 3) ~iters f =
+  ignore (f ());
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = now () in
+    for _ = 1 to iters do
+      ignore (Sys.opaque_identity (f ()))
+    done;
+    let dt = (now () -. t0) *. 1e9 /. float_of_int iters in
+    if dt < !best then best := dt
+  done;
+  !best
+
+type bench = {
+  name : string;
+  unit_ : string;  (* what one "op" is *)
+  before_ns : float option;  (* pre-fast-path implementation, if comparable *)
+  after_ns : float;
+  iters : int;
+}
+
+let speedup b = Option.map (fun before -> before /. b.after_ns) b.before_ns
+
+let ops_per_sec ns = 1e9 /. ns
+
+(* --- fixtures --- *)
+
+let nop_actions = [ P4ir.Action.nop "a" ]
+
+let mk_table name keys entries =
+  P4ir.Table.make ~name ~keys ~actions:nop_actions ~default_action:"a" ~entries ()
+
+let exact_table n =
+  mk_table "bx"
+    [ P4ir.Table.key P4ir.Field.Ipv4_dst P4ir.Match_kind.Exact ]
+    (List.init n (fun i -> P4ir.Table.entry [ P4ir.Pattern.Exact (Int64.of_int i) ] "a"))
+
+(* [nlens] prefix lengths (8, 9, ...) on Ipv4_dst, [per_len] prefixes
+   each — the shaped-LPM worst case the paper's cost model charges one
+   hash probe per length for. *)
+let lpm_entries ~nlens ~per_len =
+  List.concat
+    (List.init nlens (fun l ->
+         let len = 8 + l in
+         List.init per_len (fun i ->
+             let base =
+               Int64.shift_left (Int64.of_int ((l * per_len) + i + 1)) (32 - len)
+             in
+             let v = P4ir.Value.truncate ~width:32 base in
+             P4ir.Table.entry [ P4ir.Pattern.Lpm (v, len) ] "a")))
+
+let lpm_table ~nlens ~per_len =
+  mk_table "bl"
+    [ P4ir.Table.key P4ir.Field.Ipv4_dst P4ir.Match_kind.Lpm ]
+    (lpm_entries ~nlens ~per_len)
+
+let ternary_masks =
+  [| 0xFFL; 0xFF00L; 0xFFFFL; 0xFF0000L; 0xFFFF00L; 0xFFFFFFL; 0xF0F0F0L; 0x0F0F0FL |]
+
+let ternary_table ~per_mask =
+  let entries =
+    List.concat
+      (List.init (Array.length ternary_masks) (fun m ->
+           let mask = ternary_masks.(m) in
+           List.init per_mask (fun i ->
+               let v = Int64.logand (Int64.of_int (((m * per_mask) + i) * 2654435761)) mask in
+               P4ir.Table.entry ~priority:((m * per_mask) + i)
+                 [ P4ir.Pattern.Ternary (v, mask) ]
+                 "a")))
+  in
+  mk_table "bt" [ P4ir.Table.key P4ir.Field.Ipv4_dst P4ir.Match_kind.Ternary ] entries
+
+(* A cycling pool of probe packets: deterministic, mixes hits at several
+   depths with misses. *)
+let probe_pool ~seed ~size ~of_rng =
+  let rng = Stdx.Prng.create seed in
+  let pool = Array.init size (fun _ -> of_rng rng) in
+  let i = ref 0 in
+  fun () ->
+    let p = pool.(!i) in
+    i := (!i + 1) mod size;
+    p
+
+let lookup_bench ~name ~iters tab probe_of_rng =
+  let before_eng = Baseline.create tab in
+  let after_eng = Nicsim.Engine.create tab in
+  let probes = probe_pool ~seed:7L ~size:1024 ~of_rng:probe_of_rng in
+  let before_ns = time_ns ~iters (fun () -> Baseline.lookup before_eng (probes ())) in
+  let probes = probe_pool ~seed:7L ~size:1024 ~of_rng:probe_of_rng in
+  let after_ns = time_ns ~iters (fun () -> Nicsim.Engine.lookup after_eng (probes ())) in
+  { name; unit_ = "lookup"; before_ns = Some before_ns; after_ns; iters }
+
+let dst_packet rng =
+  Nicsim.Packet.of_fields
+    [ (P4ir.Field.Ipv4_dst, Int64.logand (Stdx.Prng.next64 rng) 0xFFFFFFFFL) ]
+
+(* --- window fixtures --- *)
+
+(* Exact + LPM + ternary pipeline, no cache tables (so the parallel
+   driver takes its fast path rather than falling back). *)
+let window_program () =
+  P4ir.Program.linear "perf"
+    [ exact_table 1024; lpm_table ~nlens:12 ~per_len:64; ternary_table ~per_mask:32 ]
+
+let window_source seed =
+  let rng = Stdx.Prng.create seed in
+  fun () ->
+    Nicsim.Packet.of_fields
+      [ (P4ir.Field.Ipv4_src, Int64.logand (Stdx.Prng.next64 rng) 0xFFFFFFFFL);
+        (P4ir.Field.Ipv4_dst, Int64.logand (Stdx.Prng.next64 rng) 0xFFFFFFFFL);
+        (P4ir.Field.Tcp_sport, Int64.logand (Stdx.Prng.next64 rng) 0xFFFFL);
+        (P4ir.Field.Tcp_dport, Int64.logand (Stdx.Prng.next64 rng) 0xFFFFL) ]
+
+let target = Costmodel.Target.bluefield2
+
+let window_bench ~name ~packets ~windows run =
+  (* One untimed warmup window, then [windows] timed ones; ns/packet. *)
+  let t0 = ref 0. in
+  let total = ref 0 in
+  let first = ref true in
+  for _ = 0 to windows do
+    if not !first then total := !total + packets;
+    if !first then begin
+      ignore (Sys.opaque_identity (run ()));
+      first := false;
+      t0 := now ()
+    end
+    else ignore (Sys.opaque_identity (run ()))
+  done;
+  let ns = (now () -. !t0) *. 1e9 /. float_of_int !total in
+  { name; unit_ = "packet"; before_ns = None; after_ns = ns; iters = !total }
+
+(* --- the suite --- *)
+
+let run_suite ~smoke =
+  let scale n = if smoke then max 1 (n / 50) else n in
+  let lookup_iters = scale 200_000 in
+  let benches = ref [] in
+  let push b = benches := b :: !benches in
+
+  (* Engine lookups by match kind. *)
+  push
+    (lookup_bench ~name:"engine-lookup/exact-4k" ~iters:lookup_iters (exact_table 4096)
+       (fun rng ->
+         Nicsim.Packet.of_fields
+           [ (P4ir.Field.Ipv4_dst, Int64.of_int (Stdx.Prng.int rng 8192)) ]));
+  push
+    (lookup_bench ~name:"engine-lookup/lpm-16len" ~iters:lookup_iters
+       (lpm_table ~nlens:16 ~per_len:64)
+       dst_packet);
+  push
+    (lookup_bench ~name:"engine-lookup/ternary-8mask" ~iters:lookup_iters
+       (ternary_table ~per_mask:64)
+       dst_packet);
+
+  (* Engine build: insert-time behaviour of the shaped backend. *)
+  let build_iters = scale 200 in
+  let lpm_tab = lpm_table ~nlens:16 ~per_len:32 in
+  push
+    { name = "engine-build/lpm-16x32";
+      unit_ = "build";
+      before_ns = Some (time_ns ~iters:build_iters (fun () -> Baseline.create lpm_tab));
+      after_ns = time_ns ~iters:build_iters (fun () -> Nicsim.Engine.create lpm_tab);
+      iters = build_iters };
+
+  (* Single-packet execution through the 3-table pipeline. *)
+  let prog = window_program () in
+  let ex = Nicsim.Exec.create (Nicsim.Exec.default_config target) prog in
+  let src = window_source 11L in
+  push
+    { name = "exec/run_packet";
+      unit_ = "packet";
+      before_ns = None;
+      after_ns = time_ns ~iters:(scale 100_000) (fun () -> Nicsim.Exec.run_packet ex ~now:0. (src ()));
+      iters = scale 100_000 };
+
+  (* Window drivers. Fresh sim per mode; same seed, so identical traffic. *)
+  let packets = scale 100_000 in
+  let windows = if smoke then 1 else 3 in
+  let fresh_window_bench name run_of_sim =
+    let sim = Nicsim.Sim.create target (window_program ()) in
+    let src = window_source 23L in
+    window_bench ~name ~packets ~windows (fun () -> run_of_sim sim src)
+  in
+  push
+    ((* The old loop: per-window array allocation + polymorphic sort. *)
+     let ex = Nicsim.Exec.create (Nicsim.Exec.default_config target) (window_program ()) in
+     let src = window_source 23L in
+     let start = ref 0. in
+     window_bench ~name:"run_window/old-loop" ~packets ~windows (fun () ->
+         let r = Baseline.run_window ex ~start:!start ~duration:1.0 ~packets ~source:src in
+         start := !start +. 1.0;
+         r));
+  push
+    (fresh_window_bench "run_window/seq" (fun sim src ->
+         Nicsim.Sim.run_window sim ~duration:1.0 ~packets ~source:src));
+  push
+    (fresh_window_bench "run_window/batched" (fun sim src ->
+         Nicsim.Sim.run_window_batched sim ~duration:1.0 ~packets ~source:src));
+  push
+    (fresh_window_bench "run_window/parallel" (fun sim src ->
+         Nicsim.Sim.run_window_parallel sim ~duration:1.0 ~packets ~source:src));
+  List.rev !benches
+
+(* --- reporting --- *)
+
+let json_of_bench b =
+  let base =
+    [ ("name", P4ir.Json.String b.name);
+      ("unit", P4ir.Json.String b.unit_);
+      ("iters", P4ir.Json.Int (Int64.of_int b.iters));
+      ("after_ns_per_op", P4ir.Json.Float b.after_ns);
+      ("after_ops_per_sec", P4ir.Json.Float (ops_per_sec b.after_ns)) ]
+  in
+  let before =
+    match b.before_ns with
+    | None -> []
+    | Some ns ->
+      [ ("before_ns_per_op", P4ir.Json.Float ns);
+        ("before_ops_per_sec", P4ir.Json.Float (ops_per_sec ns));
+        ("speedup", P4ir.Json.Float (Option.get (speedup b))) ]
+  in
+  P4ir.Json.Obj (base @ before)
+
+let report ~smoke ~out benches =
+  Printf.printf "%-28s %14s %14s %9s\n" "bench" "before ns/op" "after ns/op" "speedup";
+  List.iter
+    (fun b ->
+      Printf.printf "%-28s %14s %14.1f %9s\n" b.name
+        (match b.before_ns with Some ns -> Printf.sprintf "%.1f" ns | None -> "-")
+        b.after_ns
+        (match speedup b with Some s -> Printf.sprintf "%.2fx" s | None -> "-"))
+    benches;
+  let doc =
+    P4ir.Json.Obj
+      [ ("schema", P4ir.Json.String "nicsim-perf/1");
+        ("generated_by", P4ir.Json.String "bench/main.exe perf");
+        ("smoke", P4ir.Json.Bool smoke);
+        ("domains_available", P4ir.Json.Int (Int64.of_int (Domain.recommended_domain_count ())));
+        ("benches", P4ir.Json.List (List.map json_of_bench benches)) ]
+  in
+  let oc = open_out out in
+  output_string oc (P4ir.Json.to_string ~indent:2 doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %s\n%!" out
+
+let run ~smoke ~out =
+  let benches = run_suite ~smoke in
+  report ~smoke ~out benches;
+  (* Guard the headline claim: shaped lookups must beat the old engine by
+     a healthy margin, else the artifact records a regression loudly. *)
+  List.iter
+    (fun b ->
+      match speedup b with
+      | Some s when s < 1.0 ->
+        Printf.printf "WARNING: %s slower than baseline (%.2fx)\n" b.name s
+      | _ -> ())
+    benches

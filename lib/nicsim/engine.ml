@@ -6,21 +6,59 @@ type shape_elem =
   | S_prefix of int  (* LPM prefix length *)
   | S_mask of int64  (* ternary mask *)
 
+(* One stored entry together with its pre-masked key values: hash tables
+   are keyed by a 63-bit mixing hash of the masked values, and the masked
+   arrays disambiguate the (rare) hash collisions. This keeps the probe
+   path free of the string keys the engine used to build per lookup. *)
+type slot = {
+  masked : int64 array;  (* one per key, already masked *)
+  entry : P4ir.Table.entry;
+}
+
 type group = {
-  shape : shape_elem list;
+  shape : shape_elem array;
+  masks : int64 array;  (* per-key mask, precomputed from the shape *)
   total_prefix : int;  (* for LPM ordering: longer prefixes probed first *)
-  max_priority : int;
-  tbl : (string, P4ir.Table.entry) Hashtbl.t;
+  mutable max_priority : int;
+  tbl : (int, slot list) Hashtbl.t;
+}
+
+(* Compiled binary-search plan over LPM-ordered groups (Waldvogel-style
+   binary search on prefix lengths). Built lazily once the group masks
+   form a nesting chain; positions are in ascending specificity. Each
+   plan slot is either a real entry's key or a marker on some entry's
+   binary-search path; [pbest] memoizes the answer a linear longest-first
+   probe restricted to positions <= this one would give, so the search
+   never backtracks. *)
+type pslot = {
+  pmasked : int64 array;
+  pbest : P4ir.Table.entry option;
+  pbest_pos : int;  (* ascending position of [pbest]'s own group, -1 if none *)
+}
+
+type plan = {
+  pmasks : int64 array array;  (* per ascending position, per key *)
+  ptbls : (int, pslot list) Hashtbl.t array;
+}
+
+type shaped = {
+  mutable groups : group array;  (* only the first [ngroups] are live *)
+  mutable ngroups : int;
+  lpm_ordered : bool;
+  mutable plan : plan option;
+  mutable plan_stale : bool;
 }
 
 type backend =
-  | Exact_hash of (string, P4ir.Table.entry) Hashtbl.t
+  | Exact_hash of (int, slot list) Hashtbl.t
   | Exact_lru of P4ir.Table.entry Lru.t
-  | Shaped of { mutable groups : group list; lpm_ordered : bool }
+  | Shaped of shaped
   | Linear of P4ir.Table.entry list ref
 
 type t = {
   table : P4ir.Table.t;
+  fields : P4ir.Field.t array;  (* key fields, in key order *)
+  scratch : int64 array;  (* reusable per-lookup key-value buffer *)
   backend : backend;
   mutable updates : int;
   mutable tokens : float;  (* cache-fill token bucket *)
@@ -41,6 +79,8 @@ let has_range (tab : P4ir.Table.t) =
     (fun (k : P4ir.Table.key) -> P4ir.Match_kind.equal k.kind P4ir.Match_kind.Range)
     tab.keys
 
+(* String keys survive only for the LRU cache store, whose map is keyed
+   by strings; the hash engines use the allocation-free mixing hash. *)
 let exact_key_of_entry (e : P4ir.Table.entry) =
   let buf = Buffer.create 32 in
   List.iter
@@ -52,6 +92,83 @@ let exact_key_of_entry (e : P4ir.Table.entry) =
       | _ -> invalid_arg "Engine: non-exact pattern in exact table")
     e.patterns;
   Buffer.contents buf
+
+let exact_key_of_values values =
+  let buf = Buffer.create 32 in
+  Array.iter
+    (fun v ->
+      Buffer.add_int64_le buf v;
+      Buffer.add_char buf '|')
+    values;
+  Buffer.contents buf
+
+(* --- hashing --- *)
+
+let hash_seed = 0x9E3779B97F4A7C15L
+
+let hash_masked (vals : int64 array) (masks : int64 array) =
+  let h = ref hash_seed in
+  for i = 0 to Array.length masks - 1 do
+    h :=
+      Stdx.Prng.mix64
+        (Int64.logxor !h
+           (Int64.logand (Array.unsafe_get vals i) (Array.unsafe_get masks i)))
+  done;
+  Int64.to_int (Int64.shift_right_logical !h 1)
+
+let hash_exact (vals : int64 array) =
+  let h = ref hash_seed in
+  for i = 0 to Array.length vals - 1 do
+    h := Stdx.Prng.mix64 (Int64.logxor !h (Array.unsafe_get vals i))
+  done;
+  Int64.to_int (Int64.shift_right_logical !h 1)
+
+let arrays_equal (a : int64 array) (b : int64 array) =
+  let n = Array.length a in
+  n = Array.length b
+  &&
+  let rec go i = i >= n || (Int64.equal a.(i) b.(i) && go (i + 1)) in
+  go 0
+
+(* Does [slot] hold the masked projection of [vals]? *)
+let slot_matches (masks : int64 array) (vals : int64 array) (s : slot) =
+  let n = Array.length masks in
+  let rec go i =
+    i >= n
+    || Int64.equal s.masked.(i) (Int64.logand vals.(i) masks.(i)) && go (i + 1)
+  in
+  go 0
+
+let rec bucket_find masks vals = function
+  | [] -> None
+  | s :: rest -> if slot_matches masks vals s then Some s else bucket_find masks vals rest
+
+let exact_slot_matches (vals : int64 array) (s : slot) = arrays_equal s.masked vals
+
+let rec exact_bucket_find vals = function
+  | [] -> None
+  | s :: rest -> if exact_slot_matches vals s then Some s else exact_bucket_find vals rest
+
+(* Two entries with the same masked key collapse to one slot; keep the
+   one the reference list scan would pick — higher priority, ties to the
+   earlier insertion. (Same shape means same masks, so specificity cannot
+   break the tie either.) *)
+let bucket_keep bucket (slot : slot) =
+  let rec go acc = function
+    | [] -> slot :: bucket
+    | (s : slot) :: rest ->
+      if arrays_equal s.masked slot.masked then
+        if s.entry.priority >= slot.entry.priority then bucket
+        else List.rev_append acc (slot :: rest)
+      else go (s :: acc) rest
+  in
+  go [] bucket
+
+let hash_insert tbl key slot =
+  let bucket = match Hashtbl.find_opt tbl key with Some b -> b | None -> [] in
+  Hashtbl.replace tbl key (bucket_keep bucket slot)
+
+(* --- shapes --- *)
 
 let shape_of_pattern (k : P4ir.Table.key) (p : P4ir.Pattern.t) =
   match p with
@@ -68,16 +185,6 @@ let mask_of_shape (k : P4ir.Table.key) = function
   | S_prefix len -> P4ir.Value.prefix_mask ~width:(P4ir.Field.width k.field) ~prefix_len:len
   | S_mask m -> m
 
-let masked_key (tab : P4ir.Table.t) shape values =
-  let buf = Buffer.create 32 in
-  List.iter2
-    (fun (k, s) v ->
-      Buffer.add_int64_le buf (Int64.logand v (mask_of_shape k s));
-      Buffer.add_char buf '|')
-    (List.combine tab.keys shape)
-    values;
-  Buffer.contents buf
-
 let entry_values (e : P4ir.Table.entry) =
   List.map
     (fun (p : P4ir.Pattern.t) ->
@@ -87,46 +194,222 @@ let entry_values (e : P4ir.Table.entry) =
     e.patterns
 
 let shape_of_entry (tab : P4ir.Table.t) (e : P4ir.Table.entry) =
-  List.map2 shape_of_pattern tab.keys e.patterns
+  Array.of_list (List.map2 shape_of_pattern tab.keys e.patterns)
 
 let total_prefix_of_shape shape =
-  List.fold_left
+  Array.fold_left
     (fun acc s ->
       acc + match s with S_exact -> 64 | S_prefix len -> len | S_mask _ -> 0)
     0 shape
 
-let sort_groups lpm_ordered groups =
-  if lpm_ordered then
-    List.sort (fun a b -> compare b.total_prefix a.total_prefix) groups
-  else groups
+let masks_of_shape (tab : P4ir.Table.t) shape =
+  let keys = Array.of_list tab.keys in
+  Array.mapi (fun i s -> mask_of_shape keys.(i) s) shape
 
-(* Two entries with the same masked key collapse to one hash slot; keep
-   the one the reference list scan would pick — higher priority, ties to
-   the earlier insertion. (Same shape means same masks, so specificity
-   cannot break the tie either.) *)
-let hash_keep tbl key (e : P4ir.Table.entry) =
-  match Hashtbl.find_opt tbl key with
-  | Some (old : P4ir.Table.entry) when old.priority >= e.priority -> ()
-  | _ -> Hashtbl.replace tbl key e
+(* --- shaped group array management --- *)
 
-let shaped_insert st ~lpm_ordered (tab : P4ir.Table.t) (e : P4ir.Table.entry) =
+let invalidate_plan s =
+  s.plan <- None;
+  s.plan_stale <- true
+
+let find_group s shape =
+  let rec go i =
+    if i >= s.ngroups then None
+    else if s.groups.(i).shape = shape then Some s.groups.(i)
+    else go (i + 1)
+  in
+  go 0
+
+(* Insert the group at its probe position without rebuilding the rest:
+   LPM keeps descending total-prefix order (new group ahead of equal
+   lengths, matching the old stable sort over a prepended list); ternary
+   keeps newest-shape-first probe order. *)
+let add_group s (g : group) =
+  let idx =
+    if s.lpm_ordered then begin
+      let rec pos i =
+        if i >= s.ngroups || s.groups.(i).total_prefix <= g.total_prefix then i
+        else pos (i + 1)
+      in
+      pos 0
+    end
+    else 0
+  in
+  let cap = Array.length s.groups in
+  if s.ngroups = cap then begin
+    let bigger = Array.make (max 4 (2 * cap)) g in
+    Array.blit s.groups 0 bigger 0 s.ngroups;
+    s.groups <- bigger
+  end;
+  Array.blit s.groups idx s.groups (idx + 1) (s.ngroups - idx);
+  s.groups.(idx) <- g;
+  s.ngroups <- s.ngroups + 1
+
+let shaped_insert s (tab : P4ir.Table.t) (e : P4ir.Table.entry) =
   let shape = shape_of_entry tab e in
-  let key = masked_key tab shape (entry_values e) in
-  match List.find_opt (fun g -> g.shape = shape) st with
-  | Some g ->
-    hash_keep g.tbl key e;
-    sort_groups lpm_ordered
-      (List.map
-         (fun g' ->
-           if g'.shape = shape then { g' with max_priority = max g'.max_priority e.priority }
-           else g')
-         st)
-  | None ->
-    let tbl = Hashtbl.create 64 in
-    Hashtbl.replace tbl key e;
-    sort_groups lpm_ordered
-      ({ shape; total_prefix = total_prefix_of_shape shape; max_priority = e.priority; tbl }
-       :: st)
+  let g =
+    match find_group s shape with
+    | Some g ->
+      g.max_priority <- max g.max_priority e.priority;
+      g
+    | None ->
+      let g =
+        { shape;
+          masks = masks_of_shape tab shape;
+          total_prefix = total_prefix_of_shape shape;
+          max_priority = e.priority;
+          tbl = Hashtbl.create 64 }
+      in
+      add_group s g;
+      g
+  in
+  let values = Array.of_list (entry_values e) in
+  let masked = Array.mapi (fun i v -> Int64.logand v g.masks.(i)) values in
+  hash_insert g.tbl (hash_masked masked g.masks) { masked; entry = e };
+  invalidate_plan s
+
+(* --- compiled binary-search plan (LPM) --- *)
+
+(* Binary search pays off once there are enough prefix-length groups; a
+   linear longest-first scan wins below this. *)
+let plan_threshold = 4
+
+let group_probe (g : group) vals =
+  match Hashtbl.find_opt g.tbl (hash_masked vals g.masks) with
+  | None -> None
+  | Some bucket -> bucket_find g.masks vals bucket
+
+let build_plan s =
+  s.plan_stale <- false;
+  s.plan <- None;
+  let m = s.ngroups in
+  if s.lpm_ordered && m >= plan_threshold then begin
+    (* Ascending specificity: position p is groups.(m-1-p). *)
+    let asc = Array.init m (fun p -> s.groups.(m - 1 - p)) in
+    let nk = Array.length asc.(0).masks in
+    (* Binary search is only sound when the group masks nest (a chain):
+       true for the common single-LPM-key table (other keys exact), not
+       necessarily for multi-LPM-key tables, which keep linear probing. *)
+    let chain = ref true in
+    for p = 0 to m - 2 do
+      for k = 0 to nk - 1 do
+        let narrow = asc.(p).masks.(k) and wide = asc.(p + 1).masks.(k) in
+        if not (Int64.equal (Int64.logand narrow wide) narrow) then chain := false
+      done
+    done;
+    if !chain then begin
+      let pmasks = Array.map (fun (g : group) -> g.masks) asc in
+      (* Pass 1: collect the key set per position — every real slot plus
+         markers on each real slot's binary-search path. *)
+      let keysets : (int, int64 array list) Hashtbl.t array =
+        Array.init m (fun _ -> Hashtbl.create 32)
+      in
+      let add_key pos (masked : int64 array) =
+        let h = hash_masked masked pmasks.(pos) in
+        let bucket =
+          match Hashtbl.find_opt keysets.(pos) h with Some b -> b | None -> []
+        in
+        if not (List.exists (arrays_equal masked) bucket) then
+          Hashtbl.replace keysets.(pos) h (masked :: bucket)
+      in
+      let project (src : int64 array) pos =
+        Array.mapi (fun k v -> Int64.logand v pmasks.(pos).(k)) src
+      in
+      Array.iteri
+        (fun p (g : group) ->
+          Hashtbl.iter
+            (fun _ slots ->
+              List.iter
+                (fun (s0 : slot) ->
+                  add_key p s0.masked;
+                  let rec path lo hi =
+                    if lo <= hi then begin
+                      let mid = (lo + hi) / 2 in
+                      if mid < p then begin
+                        add_key mid (project s0.masked mid);
+                        path (mid + 1) hi
+                      end
+                      else if mid > p then path lo (mid - 1)
+                    end
+                  in
+                  path 0 (m - 1))
+                slots)
+            g.tbl)
+        asc;
+      (* Pass 2: memoize each key's effective best — what the linear
+         longest-first probe restricted to positions <= pos would find. *)
+      let ptbls = Array.init m (fun _ -> Hashtbl.create 64) in
+      Array.iteri
+        (fun pos keys ->
+          Hashtbl.iter
+            (fun h bucket ->
+              let pslots =
+                List.map
+                  (fun masked ->
+                    let rec eff i =
+                      if i < 0 then (None, -1)
+                      else
+                        match group_probe asc.(i) masked with
+                        | Some s0 -> (Some s0.entry, i)
+                        | None -> eff (i - 1)
+                    in
+                    let pbest, pbest_pos = eff pos in
+                    { pmasked = masked; pbest; pbest_pos })
+                  bucket
+              in
+              Hashtbl.replace ptbls.(pos) h pslots)
+            keys)
+        keysets;
+      s.plan <- Some { pmasks; ptbls }
+    end
+  end
+
+let pslot_matches (masks : int64 array) (vals : int64 array) (ps : pslot) =
+  let n = Array.length masks in
+  let rec go i =
+    i >= n
+    || Int64.equal ps.pmasked.(i) (Int64.logand vals.(i) masks.(i)) && go (i + 1)
+  in
+  go 0
+
+let rec pbucket_find masks vals = function
+  | [] -> None
+  | ps :: rest -> if pslot_matches masks vals ps then Some ps else pbucket_find masks vals rest
+
+(* Reported accesses stay those of the modeled hardware (one hash probe
+   per prefix-length table, longest first, stopping at the hit): the
+   binary search is a host-side shortcut, not a different cost model. *)
+let plan_lookup (plan : plan) vals m =
+  let best = ref None and best_pos = ref (-1) in
+  let lo = ref 0 and hi = ref (m - 1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let hit =
+      match Hashtbl.find_opt plan.ptbls.(mid) (hash_masked vals plan.pmasks.(mid)) with
+      | None -> None
+      | Some bucket -> pbucket_find plan.pmasks.(mid) vals bucket
+    in
+    match hit with
+    | Some ps ->
+      best := ps.pbest;
+      best_pos := ps.pbest_pos;
+      lo := mid + 1
+    | None -> hi := mid - 1
+  done;
+  match !best with
+  | Some e -> (Some e, m - !best_pos)
+  | None -> (None, max 1 m)
+
+(* --- engine construction --- *)
+
+let raw_insert t (e : P4ir.Table.entry) =
+  match t.backend with
+  | Exact_hash h ->
+    let masked = Array.of_list (entry_values e) in
+    hash_insert h (hash_exact masked) { masked; entry = e }
+  | Exact_lru lru -> ignore (Lru.put lru (exact_key_of_entry e) e)
+  | Linear entries -> entries := !entries @ [ e ]
+  | Shaped s -> shaped_insert s t.table e
 
 let create (tab : P4ir.Table.t) =
   let backend =
@@ -136,88 +419,112 @@ let create (tab : P4ir.Table.t) =
       List.iter (fun e -> ignore (Lru.put lru (exact_key_of_entry e) e)) tab.entries;
       Exact_lru lru
     | _ when has_range tab -> Linear (ref tab.entries)
-    | _ when all_exact tab ->
-      let h = Hashtbl.create (max 64 (List.length tab.entries)) in
-      List.iter (fun e -> hash_keep h (exact_key_of_entry e) e) tab.entries;
-      Exact_hash h
+    | _ when all_exact tab -> Exact_hash (Hashtbl.create (max 64 (List.length tab.entries)))
     | _ ->
       let lpm_ordered =
         P4ir.Match_kind.equal (P4ir.Table.effective_kind tab) P4ir.Match_kind.Lpm
       in
-      let groups =
-        List.fold_left (fun st e -> shaped_insert st ~lpm_ordered tab e) [] tab.entries
-      in
-      Shaped { groups; lpm_ordered }
+      Shaped { groups = [||]; ngroups = 0; lpm_ordered; plan = None; plan_stale = true }
   in
-  (* Cache fill buckets start full: a freshly deployed cache may warm at
-     up to one second's insertion allowance immediately. *)
+  let nkeys = List.length tab.keys in
   let tokens =
+    (* Cache fill buckets start full: a freshly deployed cache may warm at
+       up to one second's insertion allowance immediately. *)
     match tab.role with P4ir.Table.Cache meta -> meta.insert_limit | _ -> 0.
   in
-  { table = tab; backend; updates = 0; tokens; token_time = 0. }
+  let t =
+    { table = tab;
+      fields = Array.of_list (key_fields tab);
+      scratch = Array.make (max 1 nkeys) 0L;
+      backend;
+      updates = 0;
+      tokens;
+      token_time = 0. }
+  in
+  (match backend with
+   | Exact_hash _ | Shaped _ -> List.iter (raw_insert t) tab.entries
+   | Exact_lru _ | Linear _ -> ());
+  t
 
-let packet_values t pkt = List.map (Packet.get pkt) (key_fields t.table)
-
-let exact_key_of_values values =
-  let buf = Buffer.create 32 in
-  List.iter
-    (fun v ->
-      Buffer.add_int64_le buf v;
-      Buffer.add_char buf '|')
-    values;
-  Buffer.contents buf
+(* Fill the reusable key buffer with the packet's key-field values. *)
+let read_values t pkt =
+  for i = 0 to Array.length t.fields - 1 do
+    t.scratch.(i) <- Packet.get pkt (Array.unsafe_get t.fields i)
+  done;
+  t.scratch
 
 let linear_lookup t entries pkt =
   let read f = Packet.get pkt f in
   let tab = { t.table with P4ir.Table.entries } in
   (P4ir.Table.lookup tab read, max 1 (List.length entries))
 
-let lookup t pkt =
+(* Longest-prefix groups first; the first hit is the answer. *)
+let lpm_linear_probe s vals =
+  let rec probe i =
+    if i >= s.ngroups then (None, max 1 s.ngroups)
+    else
+      let g = s.groups.(i) in
+      match group_probe g vals with
+      | Some slot -> (Some slot.entry, i + 1)
+      | None -> probe (i + 1)
+  in
+  probe 0
+
+(* Ternary: the model probes every mask group; highest priority wins.
+   [skip] elides hash probes that cannot change the winner (the group's
+   max priority does not beat the current best) — the reported access
+   count still charges every group, as the hardware would. *)
+let ternary_probe ~skip s vals =
+  let best = ref None in
+  for i = 0 to s.ngroups - 1 do
+    let g = s.groups.(i) in
+    let skippable =
+      skip
+      && match !best with
+         | Some (b : P4ir.Table.entry) -> b.priority >= g.max_priority
+         | None -> false
+    in
+    if not skippable then
+      match group_probe g vals with
+      | Some slot -> (
+        match !best with
+        | Some (b : P4ir.Table.entry) when b.priority >= slot.entry.priority -> ()
+        | _ -> best := Some slot.entry)
+      | None -> ()
+  done;
+  (!best, max 1 s.ngroups)
+
+let shaped_lookup ~use_plan t s pkt =
+  let vals = read_values t pkt in
+  if s.lpm_ordered then begin
+    if use_plan && s.plan_stale then build_plan s;
+    match if use_plan then s.plan else None with
+    | Some plan -> plan_lookup plan vals s.ngroups
+    | None -> lpm_linear_probe s vals
+  end
+  else ternary_probe ~skip:use_plan s vals
+
+let lookup_gen ~use_plan t pkt =
   match t.backend with
   | Exact_hash h ->
-    let key = exact_key_of_values (packet_values t pkt) in
-    (Hashtbl.find_opt h key, 1)
+    let vals = read_values t pkt in
+    let res =
+      match Hashtbl.find_opt h (hash_exact vals) with
+      | None -> None
+      | Some bucket -> (
+        match exact_bucket_find vals bucket with
+        | Some slot -> Some slot.entry
+        | None -> None)
+    in
+    (res, 1)
   | Exact_lru lru ->
-    let key = exact_key_of_values (packet_values t pkt) in
-    (Lru.find lru key, 1)
+    let vals = read_values t pkt in
+    (Lru.find lru (exact_key_of_values vals), 1)
   | Linear entries -> linear_lookup t !entries pkt
-  | Shaped { groups; lpm_ordered } ->
-    let values = packet_values t pkt in
-    if lpm_ordered then
-      (* Longest-prefix groups first; the first hit is the answer. *)
-      let rec probe accesses = function
-        | [] -> (None, max 1 accesses)
-        | g :: rest -> (
-          let key = masked_key t.table g.shape values in
-          match Hashtbl.find_opt g.tbl key with
-          | Some e -> (Some e, accesses + 1)
-          | None -> probe (accesses + 1) rest)
-      in
-      probe 0 groups
-    else begin
-      (* Ternary: every mask group must be probed; highest priority wins. *)
-      let best = ref None in
-      let accesses = ref 0 in
-      List.iter
-        (fun g ->
-          incr accesses;
-          let key = masked_key t.table g.shape values in
-          match Hashtbl.find_opt g.tbl key with
-          | Some e -> (
-            match !best with
-            | Some (b : P4ir.Table.entry) when b.priority >= e.priority -> ()
-            | _ -> best := Some e)
-          | None -> ())
-        groups;
-      (!best, max 1 !accesses)
-    end
+  | Shaped s -> shaped_lookup ~use_plan t s pkt
 
-let raw_insert t (e : P4ir.Table.entry) =
-  match t.backend with
-  | Exact_hash h -> Hashtbl.replace h (exact_key_of_entry e) e
-  | Exact_lru lru -> ignore (Lru.put lru (exact_key_of_entry e) e)
-  | Linear entries -> entries := !entries @ [ e ]
-  | Shaped s -> s.groups <- shaped_insert s.groups ~lpm_ordered:s.lpm_ordered t.table e
+let lookup t pkt = lookup_gen ~use_plan:true t pkt
+let lookup_linear t pkt = lookup_gen ~use_plan:false t pkt
 
 let validate_entry t e =
   (* Reuse Table.make's validation by round-tripping through add_entry. *)
@@ -233,18 +540,32 @@ let delete t ~patterns =
   let removed = ref false in
   (match t.backend with
    | Exact_hash h ->
-     let key = exact_key_of_values (List.map (function
-       | P4ir.Pattern.Exact v -> v
-       | _ -> invalid_arg "Engine.delete: non-exact pattern for exact table") patterns)
+     let vals =
+       Array.of_list
+         (List.map
+            (function
+              | P4ir.Pattern.Exact v -> v
+              | _ -> invalid_arg "Engine.delete: non-exact pattern for exact table")
+            patterns)
      in
-     if Hashtbl.mem h key then begin
-       Hashtbl.remove h key;
-       removed := true
-     end
+     let key = hash_exact vals in
+     (match Hashtbl.find_opt h key with
+      | Some bucket ->
+        let survivors = List.filter (fun s -> not (exact_slot_matches vals s)) bucket in
+        if List.length survivors < List.length bucket then begin
+          removed := true;
+          if survivors = [] then Hashtbl.remove h key else Hashtbl.replace h key survivors
+        end
+      | None -> ())
    | Exact_lru lru ->
-     let key = exact_key_of_values (List.map (function
-       | P4ir.Pattern.Exact v -> v
-       | _ -> invalid_arg "Engine.delete: non-exact pattern for exact table") patterns)
+     let key =
+       exact_key_of_values
+         (Array.of_list
+            (List.map
+               (function
+                 | P4ir.Pattern.Exact v -> v
+                 | _ -> invalid_arg "Engine.delete: non-exact pattern for exact table")
+               patterns))
      in
      if Lru.mem lru key then begin
        Lru.remove lru key;
@@ -255,17 +576,25 @@ let delete t ~patterns =
      entries := List.filter (fun e -> not (matches e)) !entries;
      removed := List.length !entries < before
    | Shaped s ->
-     List.iter
-       (fun g ->
-         let victims =
-           Hashtbl.fold (fun k e acc -> if matches e then k :: acc else acc) g.tbl []
-         in
-         List.iter
-           (fun k ->
-             Hashtbl.remove g.tbl k;
-             removed := true)
-           victims)
-       s.groups);
+     for i = 0 to s.ngroups - 1 do
+       let g = s.groups.(i) in
+       let victims =
+         Hashtbl.fold
+           (fun k bucket acc ->
+             if List.exists (fun (s0 : slot) -> matches s0.entry) bucket then (k, bucket) :: acc
+             else acc)
+           g.tbl []
+       in
+       List.iter
+         (fun (k, bucket) ->
+           removed := true;
+           let survivors = List.filter (fun (s0 : slot) -> not (matches s0.entry)) bucket in
+           if survivors = [] then Hashtbl.remove g.tbl k else Hashtbl.replace g.tbl k survivors)
+         victims
+     done;
+     (* Emptied groups stay in place: the modeled hardware still probes
+        their hash table, so the access count must keep charging them. *)
+     if !removed then invalidate_plan s);
   if !removed then t.updates <- t.updates + 1;
   !removed
 
@@ -274,16 +603,16 @@ let load_entries t new_entries =
   match t.backend with
   | Exact_hash h ->
     Hashtbl.reset h;
-    List.iter (fun e -> Hashtbl.replace h (exact_key_of_entry e) e) new_entries
+    List.iter (raw_insert t) new_entries
   | Exact_lru lru ->
     Lru.clear lru;
     List.iter (fun e -> ignore (Lru.put lru (exact_key_of_entry e) e)) new_entries
   | Linear entries -> entries := new_entries
   | Shaped s ->
-    s.groups <- [];
-    List.iter
-      (fun e -> s.groups <- shaped_insert s.groups ~lpm_ordered:s.lpm_ordered t.table e)
-      new_entries
+    s.groups <- [||];
+    s.ngroups <- 0;
+    invalidate_plan s;
+    List.iter (fun e -> shaped_insert s t.table e) new_entries
 
 let replace_all t new_entries =
   load_entries t new_entries;
@@ -291,16 +620,26 @@ let replace_all t new_entries =
 
 let entries t =
   match t.backend with
-  | Exact_hash h -> Hashtbl.fold (fun _ e acc -> e :: acc) h []
+  | Exact_hash h ->
+    Hashtbl.fold (fun _ bucket acc -> List.map (fun s -> s.entry) bucket @ acc) h []
   | Exact_lru lru ->
     let acc = ref [] in
     Lru.iter (fun _ e -> acc := e :: !acc) lru;
     !acc
   | Linear entries -> !entries
   | Shaped s ->
-    List.concat_map (fun g -> Hashtbl.fold (fun _ e acc -> e :: acc) g.tbl []) s.groups
+    let acc = ref [] in
+    for i = 0 to s.ngroups - 1 do
+      Hashtbl.iter
+        (fun _ bucket -> List.iter (fun (s0 : slot) -> acc := s0.entry :: !acc) bucket)
+        s.groups.(i).tbl
+    done;
+    !acc
 
 let num_entries t = List.length (entries t)
+
+let shape_groups t =
+  match t.backend with Shaped s -> s.ngroups | Exact_hash _ | Exact_lru _ | Linear _ -> 0
 
 let update_count t = t.updates
 
@@ -308,6 +647,23 @@ let take_update_count t =
   let n = t.updates in
   t.updates <- 0;
   n
+
+let copy t =
+  let copy_group (g : group) = { g with tbl = Hashtbl.copy g.tbl } in
+  let backend =
+    match t.backend with
+    | Exact_hash h -> Exact_hash (Hashtbl.copy h)
+    | Exact_lru lru -> Exact_lru (Lru.copy lru)
+    | Linear entries -> Linear (ref !entries)
+    | Shaped s ->
+      Shaped
+        { groups = Array.init s.ngroups (fun i -> copy_group s.groups.(i));
+          ngroups = s.ngroups;
+          lpm_ordered = s.lpm_ordered;
+          plan = None;
+          plan_stale = true }
+  in
+  { t with backend; scratch = Array.copy t.scratch }
 
 let cache_fill t ~now e =
   match (t.table.role, t.backend) with
@@ -334,4 +690,7 @@ let invalidate t =
   | Exact_lru lru -> Lru.clear lru
   | Exact_hash h -> Hashtbl.reset h
   | Linear entries -> entries := []
-  | Shaped s -> s.groups <- []
+  | Shaped s ->
+    s.groups <- [||];
+    s.ngroups <- 0;
+    invalidate_plan s

@@ -18,7 +18,15 @@ val def : t -> P4ir.Table.t
 
 val lookup : t -> Packet.t -> P4ir.Table.entry option * int
 (** Match result plus the number of memory accesses performed. A miss in
-    a shaped table costs one access per probed hash table. *)
+    a shaped table costs one access per probed hash table. LPM tables
+    with enough prefix-length groups are probed via a compiled binary
+    search on prefix lengths (Waldvogel); the reported access count is
+    still that of the modeled longest-first linear probe. *)
+
+val lookup_linear : t -> Packet.t -> P4ir.Table.entry option * int
+(** {!lookup} with the compiled binary-search plan disabled: always the
+    straight-line reference probe. Used by tests and the differential
+    fuzzer to check the plan against the model it compiles. *)
 
 val insert : t -> P4ir.Table.entry -> unit
 (** Control-plane insert; bumps the update counter.
@@ -37,6 +45,16 @@ val load_entries : t -> P4ir.Table.entry list -> unit
 
 val entries : t -> P4ir.Table.entry list
 val num_entries : t -> int
+
+val shape_groups : t -> int
+(** Number of live hash-table groups in a shaped (LPM/ternary) backend;
+    0 for exact, cache and linear backends. Deleting the last entry of a
+    group does not drop the group — the modeled hardware still probes it. *)
+
+val copy : t -> t
+(** Deep, independent copy: subsequent mutations (inserts, cache fills,
+    LRU recency updates) on either side do not affect the other. The
+    copy's update counter and token bucket match the original. *)
 
 val update_count : t -> int
 (** Control-plane updates since the last {!take_update_count}. *)

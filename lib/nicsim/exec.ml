@@ -109,10 +109,14 @@ let try_complete_fill ~now fill =
     | None -> ()  (* behaviour combination not representable; skip *)
   end
 
-let run_packet t ~now pkt =
-  t.seen <- t.seen + 1;
+let entry_core_of t root =
+  match root with Some r -> t.cfg.placement r | None -> Costmodel.Cost.Asic
+
+(* Core of the per-packet walk, with everything derivable once per burst
+   ([root], [entry_core]) and once per packet position ([sampled]) hoisted
+   out so batch and parallel drivers can amortize or pin them. *)
+let exec_packet t ~sampled ~now ~root ~entry_core pkt =
   let target = t.cfg.target in
-  let sampled = t.cfg.instrumented && t.seen mod t.cfg.sample_rate = 0 in
   let bump owner label latency =
     if sampled then begin
       Profile.Counter.incr t.ctrs ~owner ~label;
@@ -122,9 +126,6 @@ let run_packet t ~now pkt =
   in
   let latency = ref target.l_fixed in
   let fills : pending_fill list ref = ref [] in
-  let entry_core =
-    match P4ir.Program.root t.prog with Some r -> t.cfg.placement r | None -> Costmodel.Cost.Asic
-  in
   if entry_core = Costmodel.Cost.Cpu then latency := !latency +. target.migration_latency;
   let rec step current prev_core =
     match current with
@@ -204,9 +205,66 @@ let run_packet t ~now pkt =
            step next core
          end)
   in
-  step (P4ir.Program.root t.prog) entry_core;
+  step root entry_core;
   List.iter (try_complete_fill ~now) !fills;
   !latency
+
+let sampled_at t seq = t.cfg.instrumented && seq mod t.cfg.sample_rate = 0
+
+let run_packet t ~now pkt =
+  t.seen <- t.seen + 1;
+  let root = P4ir.Program.root t.prog in
+  exec_packet t ~sampled:(sampled_at t t.seen) ~now ~root ~entry_core:(entry_core_of t root)
+    pkt
+
+let run_packet_at t ~seq ~now pkt =
+  t.seen <- t.seen + 1;
+  let root = P4ir.Program.root t.prog in
+  exec_packet t ~sampled:(sampled_at t seq) ~now ~root ~entry_core:(entry_core_of t root) pkt
+
+let run_batch t ?(pos = 0) ?n ~now_of ~out pkts =
+  let n = match n with Some n -> n | None -> Array.length pkts in
+  if pos < 0 || pos + n > Array.length out then invalid_arg "Exec.run_batch: out too small";
+  let root = P4ir.Program.root t.prog in
+  let entry_core = entry_core_of t root in
+  let dropped = ref 0 in
+  for i = 0 to n - 1 do
+    t.seen <- t.seen + 1;
+    let pkt = Array.unsafe_get pkts i in
+    out.(pos + i) <-
+      exec_packet t ~sampled:(sampled_at t t.seen) ~now:(now_of i) ~root ~entry_core pkt;
+    if Packet.is_dropped pkt then incr dropped
+  done;
+  !dropped
+
+let replicate t =
+  (* Distinct program nodes can share one engine by name; preserve that
+     aliasing in the copy so a fill through either node stays coherent. *)
+  let mapping : (Engine.t * Engine.t) list ref = ref [] in
+  let copy_of eng =
+    match List.find_opt (fun (orig, _) -> orig == eng) !mapping with
+    | Some (_, c) -> c
+    | None ->
+      let c = Engine.copy eng in
+      mapping := (eng, c) :: !mapping;
+      c
+  in
+  let engines = Hashtbl.create (Hashtbl.length t.engines) in
+  Hashtbl.iter (fun name eng -> Hashtbl.replace engines name (copy_of eng)) t.engines;
+  let node_engine = Hashtbl.create (Hashtbl.length t.node_engine) in
+  Hashtbl.iter (fun id eng -> Hashtbl.replace node_engine id (copy_of eng)) t.node_engine;
+  { t with
+    engines;
+    node_engine;
+    ctrs = Profile.Counter.create ();
+    seen = 0;
+    drops = 0;
+    tracer = None }
+
+let merge_replica t r =
+  Profile.Counter.merge_into ~dst:t.ctrs ~src:r.ctrs;
+  t.seen <- t.seen + r.seen;
+  t.drops <- t.drops + r.drops
 
 let replace_program t prog =
   let changed = ref 0 in

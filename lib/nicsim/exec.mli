@@ -34,6 +34,41 @@ val run_packet : t -> now:float -> Packet.t -> float
     (including the fixed per-packet overhead and any migrations). The
     packet is mutated (header rewrites, drop flag, egress). *)
 
+val run_packet_at : t -> seq:int -> now:float -> Packet.t -> float
+(** Like {!run_packet} but the counter-sampling decision uses the given
+    global sequence number instead of this executor's own packet count.
+    Lets a sharded replica reproduce, bit for bit, the sampling pattern
+    the sequential executor would have applied at that position. The
+    replica's own [packets_seen] still advances by one. *)
+
+val run_batch :
+  t ->
+  ?pos:int ->
+  ?n:int ->
+  now_of:(int -> float) ->
+  out:float array ->
+  Packet.t array ->
+  int
+(** Process a burst: packets [0 .. n-1] of the array (default all), with
+    packet [i] timestamped [now_of i] and its latency written to
+    [out.(pos + i)] (default [pos = 0]). Per-burst work (program root,
+    entry-core placement) is hoisted out of the per-packet path. Returns
+    the number of packets dropped in the burst. Semantically identical to
+    [n] calls to {!run_packet}.
+    @raise Invalid_argument if [out] cannot hold the burst. *)
+
+val replicate : t -> t
+(** Deep copy for a worker domain: engines are independently copied
+    (aliasing between program nodes preserved), counters start empty,
+    packet/drop counts start at zero, the tracer is not carried over. The
+    program, target, and placement are shared (immutable). Merge results
+    back with {!merge_replica}. *)
+
+val merge_replica : t -> t -> unit
+(** [merge_replica t r] folds replica [r]'s counters and packet/drop
+    counts into [t]. Counter merging is commutative, so the merge order
+    of replicas does not affect any observable state. *)
+
 val packets_seen : t -> int
 val drops_seen : t -> int
 

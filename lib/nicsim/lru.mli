@@ -22,3 +22,6 @@ val put : 'a t -> string -> 'a -> string option
 val remove : 'a t -> string -> unit
 val clear : 'a t -> unit
 val iter : (string -> 'a -> unit) -> 'a t -> unit
+
+val copy : 'a t -> 'a t
+(** Independent copy with the same contents and recency order. *)

@@ -4,6 +4,7 @@ type t = {
   mutable clock : float;
   mutable counter_baseline : Profile.Counter.t;
   mutable last_profile_time : float;
+  mutable lat_scratch : float array;  (* reused latency buffer, one slot per packet *)
 }
 
 let create ?config tgt prog =
@@ -12,7 +13,8 @@ let create ?config tgt prog =
     ex = Exec.create cfg prog;
     clock = 0.;
     counter_baseline = Profile.Counter.create ();
-    last_profile_time = 0. }
+    last_profile_time = 0.;
+    lat_scratch = [||] }
 
 let exec t = t.ex
 let target t = t.tgt
@@ -30,30 +32,158 @@ type window_stats = {
   drop_fraction : float;
 }
 
-let run_window t ~duration ~packets ~source =
-  if packets <= 0 then invalid_arg "Sim.run_window: packets must be positive";
-  let start = t.clock in
-  let latencies = Array.make packets 0. in
-  let drops = ref 0 in
-  for i = 0 to packets - 1 do
-    let pkt_time = start +. (duration *. float_of_int i /. float_of_int packets) in
-    let pkt = source () in
-    latencies.(i) <- Exec.run_packet t.ex ~now:pkt_time pkt;
-    if Packet.is_dropped pkt then incr drops
-  done;
+(* Exact-size reusable latency buffer: in-place sorting (below) must not
+   see stale slots from a larger previous window, and typical callers run
+   fixed-size windows in a loop, so exact-size means one allocation total. *)
+let scratch t packets =
+  if Array.length t.lat_scratch <> packets then t.lat_scratch <- Array.make packets 0.;
+  t.lat_scratch
+
+(* Fold a filled latency buffer into stats and advance the clock. The
+   summation runs in packet-index order so every window driver
+   (sequential, batched, parallel) produces bit-identical floats. *)
+let finish t ~start ~duration ~packets ~drops latencies =
   t.clock <- start +. duration;
-  let sum = Array.fold_left ( +. ) 0. latencies in
-  let avg = sum /. float_of_int packets in
-  Array.sort compare latencies;
+  let sum = ref 0. in
+  for i = 0 to packets - 1 do
+    sum := !sum +. Array.unsafe_get latencies i
+  done;
+  let avg = !sum /. float_of_int packets in
+  Array.sort Float.compare latencies;
   let p99 = latencies.(min (packets - 1) (packets * 99 / 100)) in
   { window_start = start;
     window_duration = duration;
     sampled_packets = packets;
-    sampled_drops = !drops;
+    sampled_drops = drops;
     avg_latency = avg;
     p99_latency = p99;
     throughput_gbps = Costmodel.Target.throughput_gbps t.tgt ~latency:avg;
-    drop_fraction = float_of_int !drops /. float_of_int packets }
+    drop_fraction = float_of_int drops /. float_of_int packets }
+
+let packet_time ~start ~duration ~packets i =
+  start +. (duration *. float_of_int i /. float_of_int packets)
+
+let run_window t ~duration ~packets ~source =
+  if packets <= 0 then invalid_arg "Sim.run_window: packets must be positive";
+  let start = t.clock in
+  let latencies = scratch t packets in
+  let drops = ref 0 in
+  for i = 0 to packets - 1 do
+    let pkt = source () in
+    latencies.(i) <- Exec.run_packet t.ex ~now:(packet_time ~start ~duration ~packets i) pkt;
+    if Packet.is_dropped pkt then incr drops
+  done;
+  finish t ~start ~duration ~packets ~drops:!drops latencies
+
+let default_batch = 64
+
+let run_window_batched ?(batch = default_batch) t ~duration ~packets ~source =
+  if packets <= 0 then invalid_arg "Sim.run_window_batched: packets must be positive";
+  if batch <= 0 then invalid_arg "Sim.run_window_batched: batch must be positive";
+  let start = t.clock in
+  let latencies = scratch t packets in
+  let burst = Array.make (min batch packets) (Packet.create ()) in
+  let drops = ref 0 in
+  let pos = ref 0 in
+  while !pos < packets do
+    let n = min batch (packets - !pos) in
+    (* Pull the burst in index order: the source sees the same call
+       sequence as the one-at-a-time loop. *)
+    for i = 0 to n - 1 do
+      burst.(i) <- source ()
+    done;
+    let base = !pos in
+    drops :=
+      !drops
+      + Exec.run_batch t.ex ~pos:base ~n
+          ~now_of:(fun i -> packet_time ~start ~duration ~packets (base + i))
+          ~out:latencies burst;
+    pos := base + n
+  done;
+  finish t ~start ~duration ~packets ~drops:!drops latencies
+
+let has_cache_tables prog =
+  List.exists
+    (fun (_, (tab : P4ir.Table.t)) ->
+      match tab.role with P4ir.Table.Cache _ -> true | _ -> false)
+    (P4ir.Program.tables prog)
+
+(* RSS-style receive-side scaling: hash the flow 5-tuple so one flow
+   always lands on the same domain, like real NIC dispatchers do. *)
+let flow_shard pkt ~domains =
+  let h = ref 0x9E3779B97F4A7C15L in
+  let mix f = h := Stdx.Prng.mix64 (Int64.logxor !h (Packet.get pkt f)) in
+  mix P4ir.Field.Ipv4_src;
+  mix P4ir.Field.Ipv4_dst;
+  mix P4ir.Field.Ipv4_proto;
+  mix P4ir.Field.Tcp_sport;
+  mix P4ir.Field.Tcp_dport;
+  Int64.to_int (Int64.rem (Int64.shift_right_logical !h 1) (Int64.of_int domains))
+
+let run_window_parallel ?domains t ~duration ~packets ~source =
+  if packets <= 0 then invalid_arg "Sim.run_window_parallel: packets must be positive";
+  let domains =
+    match domains with
+    | Some d when d <= 0 -> invalid_arg "Sim.run_window_parallel: domains must be positive"
+    | Some d -> d
+    | None -> Domain.recommended_domain_count ()
+  in
+  (* Cache-role tables mutate shared engine state per packet (LRU recency,
+     fills), which sharded replicas cannot reproduce faithfully; those
+     programs run sequentially. So do degenerate shardings. *)
+  if domains = 1 || packets < 2 * domains || has_cache_tables (Exec.program t.ex) then
+    run_window t ~duration ~packets ~source
+  else begin
+    let start = t.clock in
+    let latencies = scratch t packets in
+    (* Pull every packet up front, in index order — same source call
+       sequence as sequential — then shard deterministically by flow. *)
+    let pkts = Array.make packets (source ()) in
+    for i = 1 to packets - 1 do
+      pkts.(i) <- source ()
+    done;
+    let shard_sizes = Array.make domains 0 in
+    let shard_of = Array.make packets 0 in
+    for i = 0 to packets - 1 do
+      let s = flow_shard pkts.(i) ~domains in
+      shard_of.(i) <- s;
+      shard_sizes.(s) <- shard_sizes.(s) + 1
+    done;
+    let shards = Array.init domains (fun s -> Array.make (max 1 shard_sizes.(s)) 0) in
+    let fill = Array.make domains 0 in
+    for i = 0 to packets - 1 do
+      let s = shard_of.(i) in
+      shards.(s).(fill.(s)) <- i;
+      fill.(s) <- fill.(s) + 1
+    done;
+    let base_seen = Exec.packets_seen t.ex in
+    let run_shard s () =
+      let replica = Exec.replicate t.ex in
+      let indices = shards.(s) in
+      for j = 0 to shard_sizes.(s) - 1 do
+        let i = indices.(j) in
+        (* Disjoint index sets make the shared latency-buffer writes
+           race-free; the global sequence number pins the sampling
+           pattern to the packet's window position, not arrival order. *)
+        latencies.(i) <-
+          Exec.run_packet_at replica ~seq:(base_seen + i + 1)
+            ~now:(packet_time ~start ~duration ~packets i)
+            pkts.(i)
+      done;
+      replica
+    in
+    let workers =
+      Array.init (domains - 1) (fun k -> Domain.spawn (run_shard (k + 1)))
+    in
+    let replica0 = run_shard 0 () in
+    let replicas = Array.append [| replica0 |] (Array.map Domain.join workers) in
+    Array.iter (fun r -> Exec.merge_replica t.ex r) replicas;
+    let drops = ref 0 in
+    for i = 0 to packets - 1 do
+      if Packet.is_dropped pkts.(i) then incr drops
+    done;
+    finish t ~start ~duration ~packets ~drops:!drops latencies
+  end
 
 let insert t ~table entry = Engine.insert (Exec.engine_exn t.ex table) entry
 

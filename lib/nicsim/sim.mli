@@ -40,6 +40,35 @@ val run_window :
     token buckets and time series behave), then advance the clock to the
     window end. *)
 
+val run_window_batched :
+  ?batch:int ->
+  t ->
+  duration:float ->
+  packets:int ->
+  source:(unit -> Packet.t) ->
+  window_stats
+(** {!run_window} processing packets in bursts of [batch] (default 64)
+    via {!Exec.run_batch}, amortizing per-packet dispatch. The source is
+    called in the same order, every packet gets the same timestamp, and
+    the resulting stats and counters are bit-identical to {!run_window}. *)
+
+val run_window_parallel :
+  ?domains:int ->
+  t ->
+  duration:float ->
+  packets:int ->
+  source:(unit -> Packet.t) ->
+  window_stats
+(** {!run_window} sharded across [domains] OCaml domains (default
+    [Domain.recommended_domain_count ()]): packets are pulled from the
+    source up front in index order, assigned to domains by a deterministic
+    hash of the flow 5-tuple (RSS-style), executed on independent engine
+    replicas, and merged order-independently — stats and counters are
+    bit-identical to the sequential run. Programs with cache-role tables
+    (whose per-packet LRU mutation sharding cannot reproduce) and
+    degenerate shardings fall back to the sequential path.
+    @raise Invalid_argument if [domains <= 0] or [packets <= 0]. *)
+
 val insert : t -> table:string -> P4ir.Table.entry -> unit
 (** Control-plane entry insert (counts toward the table's update rate).
     @raise Invalid_argument if the table does not exist. *)

@@ -4,14 +4,21 @@ let create seed = { state = seed }
 
 let golden = 0x9E3779B97F4A7C15L
 
-let next64 t =
-  t.state <- Int64.add t.state golden;
-  let z = t.state in
+let mix64 z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
+let next64 t =
+  t.state <- Int64.add t.state golden;
+  mix64 t.state
+
 let split t = create (next64 t)
+
+let fork t i =
+  if i < 0 then invalid_arg "Prng.fork: negative index";
+  let salted = Int64.add t.state (Int64.mul golden (Int64.of_int (i + 1))) in
+  create (mix64 (Int64.logxor (mix64 salted) 0xA3EC647659359ACDL))
 
 let float t =
   (* 53 high-quality bits to a double in [0, 1). *)

@@ -11,6 +11,19 @@ val create : int64 -> t
 val split : t -> t
 (** An independent generator derived from the current state. *)
 
+val fork : t -> int -> t
+(** [fork t i] is an independent stream for shard [i], a pure function of
+    [t]'s current state and the index: the parent is not advanced, equal
+    (state, index) pairs give equal streams, and distinct indices give
+    decorrelated streams. Used to hand each worker domain its own
+    deterministic splitmix64 stream.
+    @raise Invalid_argument if [i < 0]. *)
+
+val mix64 : int64 -> int64
+(** The raw splitmix64 finalizer: a bijective 64-bit mixing function.
+    Building block for allocation-free hash keys and deterministic
+    flow-to-domain sharding. *)
+
 val next64 : t -> int64
 val float : t -> float
 (** Uniform in [0, 1). *)

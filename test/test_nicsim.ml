@@ -434,6 +434,215 @@ let test_navigation_migration_execution () =
          String.length k.owner >= 5 && String.sub k.owner 0 5 = "__mig")
        (Profile.Counter.dump c))
 
+(* --- fast path: compiled plans, insert ordering, copies --- *)
+
+let lpm_key = [ P4ir.Table.key P4ir.Field.Ipv4_dst P4ir.Match_kind.Lpm ]
+
+let lpm_entry ~len v = P4ir.Table.entry [ P4ir.Pattern.Lpm (v, len) ] "hit"
+
+let empty_lpm_table () =
+  P4ir.Table.make ~name:"l" ~keys:lpm_key
+    ~actions:[ P4ir.Action.nop "hit"; P4ir.Action.nop "def" ]
+    ~default_action:"def" ()
+
+let test_shaped_insert_ordering () =
+  let eng = Nicsim.Engine.create (empty_lpm_table ()) in
+  (* Insert prefix lengths out of order; groups must end up probe-ordered
+     longest-first regardless. *)
+  List.iter
+    (fun len ->
+      Nicsim.Engine.insert eng
+        (lpm_entry ~len (Int64.shift_left 0x0AL (32 - 8))))
+    [ 12; 8; 24; 16; 20 ];
+  check_int "one group per distinct length" 5 (Nicsim.Engine.shape_groups eng);
+  (* Re-inserting an existing length must not create a group. *)
+  Nicsim.Engine.insert eng (lpm_entry ~len:16 (Int64.shift_left 0x0BL 16));
+  check_int "no duplicate group" 5 (Nicsim.Engine.shape_groups eng);
+  (* Probe ordering: a /24 hit is found on the first probe, a /8-only
+     match needs one probe per longer group first. *)
+  let _, accesses = Nicsim.Engine.lookup_linear eng (pkt_dst 0x0A000000L) in
+  check_int "longest group probed first" 1 accesses;
+  let hit, accesses = Nicsim.Engine.lookup_linear eng (pkt_dst 0x0AFFFFFFL) in
+  check_bool "/8 still hits" true (Option.is_some hit);
+  check_int "shortest group probed last" 5 accesses;
+  let miss, accesses = Nicsim.Engine.lookup_linear eng (pkt_dst 0x0C000000L) in
+  check_bool "miss" true (miss = None);
+  check_int "miss probes every group" 5 accesses
+
+let test_lpm_plan_matches_linear () =
+  let eng = Nicsim.Engine.create (empty_lpm_table ()) in
+  let lens = [ 6; 10; 14; 18; 22; 26 ] in
+  List.iter
+    (fun len ->
+      for i = 0 to 15 do
+        Nicsim.Engine.insert eng
+          (lpm_entry ~len (Int64.shift_left (Int64.of_int (i * 3)) (32 - len)))
+      done)
+    lens;
+  let agree probe =
+    let pkt = pkt_dst probe in
+    let plan_hit, plan_acc = Nicsim.Engine.lookup eng pkt in
+    let lin_hit, lin_acc = Nicsim.Engine.lookup_linear eng pkt in
+    check_bool
+      (Printf.sprintf "same result at %Lx" probe)
+      true
+      ((match (plan_hit, lin_hit) with
+        | None, None -> true
+        | Some a, Some b -> a.P4ir.Table.patterns = b.P4ir.Table.patterns
+        | _ -> false)
+      && plan_acc = lin_acc)
+  in
+  for i = 0 to 2000 do
+    agree (Int64.logand (Stdx.Prng.mix64 (Int64.of_int i)) 0xFFFFFFFFL)
+  done;
+  (* Mutation invalidates the compiled plan; agreement must survive it. *)
+  Nicsim.Engine.insert eng (lpm_entry ~len:30 0xDEADBEECL);
+  agree 0xDEADBEEFL;
+  ignore (Nicsim.Engine.delete eng ~patterns:[ P4ir.Pattern.Lpm (0xDEADBEECL, 30) ]);
+  agree 0xDEADBEEFL
+
+let test_engine_copy_independent () =
+  let eng = Nicsim.Engine.create (empty_lpm_table ()) in
+  Nicsim.Engine.insert eng (lpm_entry ~len:8 0x0A000000L);
+  let snap = Nicsim.Engine.copy eng in
+  Nicsim.Engine.insert eng (lpm_entry ~len:24 0x0A0B0C00L);
+  check_int "copy unaffected by later insert" 1 (Nicsim.Engine.num_entries snap);
+  check_int "original grew" 2 (Nicsim.Engine.num_entries eng);
+  (match fst (Nicsim.Engine.lookup snap (pkt_dst 0x0A0B0C0DL)) with
+   | Some e -> check_bool "copy still matches /8" true (e.P4ir.Table.patterns = [ P4ir.Pattern.Lpm (0x0A000000L, 8) ])
+   | None -> Alcotest.fail "copy lost its entry");
+  ignore (Nicsim.Engine.delete snap ~patterns:[ P4ir.Pattern.Lpm (0x0A000000L, 8) ]);
+  check_int "original unaffected by copy delete" 2 (Nicsim.Engine.num_entries eng)
+
+let test_prng_fork_deterministic () =
+  let a = Stdx.Prng.create 42L in
+  let b = Stdx.Prng.create 42L in
+  let fa = Stdx.Prng.fork a 3 in
+  let fb = Stdx.Prng.fork b 3 in
+  for _ = 1 to 8 do
+    check_bool "equal (state, index) give equal streams" true
+      (Int64.equal (Stdx.Prng.next64 fa) (Stdx.Prng.next64 fb))
+  done;
+  (* Forking must not advance the parent. *)
+  check_bool "parent undisturbed" true
+    (Int64.equal (Stdx.Prng.next64 a) (Stdx.Prng.next64 b));
+  let c = Stdx.Prng.create 42L in
+  ignore (Stdx.Prng.next64 c);
+  check_bool "distinct indices decorrelate" false
+    (Int64.equal
+       (Stdx.Prng.next64 (Stdx.Prng.fork c 0))
+       (Stdx.Prng.next64 (Stdx.Prng.fork c 1)))
+
+(* --- window drivers: batched and parallel bit-identity --- *)
+
+let stats_bits_equal (a : Nicsim.Sim.window_stats) (b : Nicsim.Sim.window_stats) =
+  let f x y = Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y) in
+  f a.window_start b.window_start
+  && f a.window_duration b.window_duration
+  && a.sampled_packets = b.sampled_packets
+  && a.sampled_drops = b.sampled_drops
+  && f a.avg_latency b.avg_latency
+  && f a.p99_latency b.p99_latency
+  && f a.throughput_gbps b.throughput_gbps
+  && f a.drop_fraction b.drop_fraction
+
+(* Exact + LPM + ternary pipeline (no caches, so the parallel driver
+   actually shards) with a drop entry some packets hit. *)
+let driver_program () =
+  let acl = acl_with_drop ~name:"acl" 9L in
+  let lpm =
+    P4ir.Table.make ~name:"route" ~keys:lpm_key
+      ~actions:[ P4ir.Action.nop "hit"; P4ir.Action.nop "def" ]
+      ~default_action:"def"
+      ~entries:
+        (List.concat_map
+           (fun len ->
+             List.init 8 (fun i ->
+                 lpm_entry ~len (Int64.shift_left (Int64.of_int (i * 5)) (32 - len))))
+           [ 8; 12; 16; 20; 24 ])
+      ()
+  in
+  let tern =
+    P4ir.Table.make ~name:"qos"
+      ~keys:[ P4ir.Table.key P4ir.Field.Tcp_dport P4ir.Match_kind.Ternary ]
+      ~actions:[ P4ir.Action.nop "mark"; P4ir.Action.nop "def" ]
+      ~default_action:"def"
+      ~entries:
+        (List.mapi
+           (fun i mask ->
+             P4ir.Table.entry ~priority:i [ P4ir.Pattern.Ternary (0x10L, mask) ] "mark")
+           [ 0xFFL; 0xF0FL; 0x3FFL; 0xFF0L ])
+      ()
+  in
+  P4ir.Program.linear "drv" [ acl; lpm; tern ]
+
+let driver_source seed =
+  let rng = Stdx.Prng.create seed in
+  let flows =
+    Traffic.Workload.random_flows rng ~n:64
+      ~fields:
+        [ P4ir.Field.Ipv4_src; P4ir.Field.Ipv4_dst; P4ir.Field.Tcp_sport;
+          P4ir.Field.Tcp_dport ]
+  in
+  let base = Traffic.Workload.of_flows rng flows in
+  Traffic.Workload.mark_fraction rng ~rate:0.2 ~field:P4ir.Field.Ipv4_dst ~value:9L base
+
+let driver_sim () =
+  let target = Costmodel.Target.bluefield2 in
+  (* A non-trivial sample rate makes the global-sequence sampling pinning
+     observable: get it wrong and counters AND latencies diverge. *)
+  let cfg = { (Nicsim.Exec.default_config target) with Nicsim.Exec.sample_rate = 3 } in
+  Nicsim.Sim.create ~config:cfg target (driver_program ())
+
+let check_driver_identical name run_alt =
+  let sim_a = driver_sim () in
+  let stats_a =
+    Nicsim.Sim.run_window sim_a ~duration:1.0 ~packets:1000 ~source:(driver_source 5L)
+  in
+  let sim_b = driver_sim () in
+  let stats_b = run_alt sim_b (driver_source 5L) in
+  check_bool (name ^ ": stats bit-identical") true (stats_bits_equal stats_a stats_b);
+  check_bool (name ^ ": counters identical") true
+    (Profile.Counter.dump (Nicsim.Exec.counters (Nicsim.Sim.exec sim_a))
+    = Profile.Counter.dump (Nicsim.Exec.counters (Nicsim.Sim.exec sim_b)));
+  check_int (name ^ ": packets seen") (Nicsim.Exec.packets_seen (Nicsim.Sim.exec sim_a))
+    (Nicsim.Exec.packets_seen (Nicsim.Sim.exec sim_b));
+  check_int (name ^ ": drops seen") (Nicsim.Exec.drops_seen (Nicsim.Sim.exec sim_a))
+    (Nicsim.Exec.drops_seen (Nicsim.Sim.exec sim_b))
+
+let test_window_batched_identical () =
+  (* batch 7 exercises a ragged final burst. *)
+  check_driver_identical "batched" (fun sim source ->
+      Nicsim.Sim.run_window_batched ~batch:7 sim ~duration:1.0 ~packets:1000 ~source)
+
+let test_window_parallel_identical () =
+  check_driver_identical "parallel-3" (fun sim source ->
+      Nicsim.Sim.run_window_parallel ~domains:3 sim ~duration:1.0 ~packets:1000 ~source);
+  check_driver_identical "parallel-default" (fun sim source ->
+      Nicsim.Sim.run_window_parallel sim ~duration:1.0 ~packets:1000 ~source)
+
+let test_window_parallel_cache_fallback () =
+  (* Programs with cache tables take the sequential fallback — and still
+     match run_window exactly, LRU state included. *)
+  let prog = P4ir.Program.linear "cp" [ cache_table ~capacity:16 () ] in
+  let target = Costmodel.Target.bluefield2 in
+  let mk () = Nicsim.Sim.create target prog in
+  let src seed =
+    let rng = Stdx.Prng.create seed in
+    fun () ->
+      Nicsim.Packet.of_fields [ (P4ir.Field.Ipv4_dst, Int64.of_int (Stdx.Prng.int rng 64)) ]
+  in
+  let sim_a = mk () in
+  let stats_a = Nicsim.Sim.run_window sim_a ~duration:1.0 ~packets:400 ~source:(src 3L) in
+  let sim_b = mk () in
+  let stats_b =
+    Nicsim.Sim.run_window_parallel ~domains:4 sim_b ~duration:1.0 ~packets:400 ~source:(src 3L)
+  in
+  check_bool "fallback stats identical" true (stats_bits_equal stats_a stats_b);
+  check_int "fallback cache contents identical"
+    (Nicsim.Engine.num_entries (Nicsim.Exec.engine_exn (Nicsim.Sim.exec sim_a) "cache"))
+    (Nicsim.Engine.num_entries (Nicsim.Exec.engine_exn (Nicsim.Sim.exec sim_b) "cache"))
+
 let () =
   Alcotest.run "nicsim"
     [ ( "packet",
@@ -467,4 +676,15 @@ let () =
           Alcotest.test_case "cache capacity in program" `Quick
             test_cache_capacity_respected_in_program;
           Alcotest.test_case "nav/migration execution" `Quick
-            test_navigation_migration_execution ] ) ]
+            test_navigation_migration_execution ] );
+      ( "fast-path",
+        [ Alcotest.test_case "shaped insert ordering" `Quick test_shaped_insert_ordering;
+          Alcotest.test_case "lpm plan = linear probe" `Quick test_lpm_plan_matches_linear;
+          Alcotest.test_case "engine copy independent" `Quick test_engine_copy_independent;
+          Alcotest.test_case "prng fork deterministic" `Quick test_prng_fork_deterministic;
+          Alcotest.test_case "batched window bit-identical" `Quick
+            test_window_batched_identical;
+          Alcotest.test_case "parallel window bit-identical" `Quick
+            test_window_parallel_identical;
+          Alcotest.test_case "parallel cache fallback" `Quick
+            test_window_parallel_cache_fallback ] ) ]

@@ -98,7 +98,114 @@ let test_engine_matches_reference =
         a.P4ir.Table.priority = b.P4ir.Table.priority
       | _ -> false)
 
-(* --- cost model --- *)
+(* Random many-prefix-length LPM tables: enough groups to cross the
+   engine's compiled binary-search threshold. The plan-driven lookup must
+   agree with the linear reference probe on both the result and the
+   reported (modeled) access count. *)
+let lpm_plan_gen =
+  let open QCheck2.Gen in
+  list_size (int_range 1 40) (pair (int_range 1 30) (map Int64.of_int int))
+  >>= fun raw ->
+  let entries =
+    List.map
+      (fun (len, v) ->
+        let v =
+          Int64.logand
+            (P4ir.Value.truncate ~width:32 v)
+            (P4ir.Value.prefix_mask ~width:32 ~prefix_len:len)
+        in
+        P4ir.Table.entry [ P4ir.Pattern.Lpm (v, len) ] "hit")
+      raw
+  in
+  let entries =
+    List.fold_left
+      (fun acc (e : P4ir.Table.entry) ->
+        if List.exists (fun (x : P4ir.Table.entry) -> x.patterns = e.patterns) acc then acc
+        else e :: acc)
+      [] entries
+    |> List.rev
+  in
+  return
+    (P4ir.Table.make ~name:"t"
+       ~keys:[ P4ir.Table.key P4ir.Field.Ipv4_dst P4ir.Match_kind.Lpm ]
+       ~actions:[ P4ir.Action.nop "hit"; P4ir.Action.nop "fallback" ]
+       ~default_action:"fallback" ~entries ())
+
+let test_lpm_plan_equals_linear =
+  qtest ~count:300 "lpm binary-search plan = linear probe"
+    QCheck2.Gen.(pair lpm_plan_gen (map Int64.of_int int))
+    (fun (tab, probe) ->
+      let probe = P4ir.Value.truncate ~width:32 probe in
+      let eng = Nicsim.Engine.create tab in
+      let pkt = Nicsim.Packet.of_fields [ (P4ir.Field.Ipv4_dst, probe) ] in
+      let plan_hit, plan_acc = Nicsim.Engine.lookup eng pkt in
+      let lin_hit, lin_acc = Nicsim.Engine.lookup_linear eng pkt in
+      plan_acc = lin_acc
+      &&
+      match (plan_hit, lin_hit) with
+      | None, None -> true
+      | Some a, Some b -> a.P4ir.Table.patterns = b.P4ir.Table.patterns
+      | _ -> false)
+
+(* --- window drivers --- *)
+
+let window_stats_bits (s : Nicsim.Sim.window_stats) =
+  List.map Int64.bits_of_float
+    [ s.window_start; s.window_duration; s.avg_latency; s.p99_latency;
+      s.throughput_gbps; s.drop_fraction ]
+  @ [ Int64.of_int s.sampled_packets; Int64.of_int s.sampled_drops ]
+
+let driver_fixture seed packets run =
+  let acl =
+    P4ir.Table.add_entry
+      (P4ir.Builder.acl_table ~name:"acl"
+         ~keys:[ P4ir.Builder.exact_key P4ir.Field.Ipv4_dst ]
+         ())
+      (P4ir.Table.entry [ P4ir.Pattern.Exact 9L ] "deny")
+  in
+  let route =
+    P4ir.Table.make ~name:"route"
+      ~keys:[ P4ir.Table.key P4ir.Field.Ipv4_dst P4ir.Match_kind.Lpm ]
+      ~actions:[ P4ir.Action.nop "hit"; P4ir.Action.nop "def" ]
+      ~default_action:"def"
+      ~entries:
+        (List.concat_map
+           (fun len ->
+             List.init 4 (fun i ->
+                 P4ir.Table.entry
+                   [ P4ir.Pattern.Lpm
+                       (Int64.shift_left (Int64.of_int (i * 3)) (32 - len), len) ]
+                   "hit"))
+           [ 8; 12; 16; 20; 24 ])
+      ()
+  in
+  let prog = P4ir.Program.linear "drv" [ acl; route ] in
+  let cfg = { (Nicsim.Exec.default_config target) with Nicsim.Exec.sample_rate = 3 } in
+  let sim = Nicsim.Sim.create ~config:cfg target prog in
+  let rng = Stdx.Prng.create seed in
+  let flows =
+    Traffic.Workload.random_flows rng ~n:32
+      ~fields:[ P4ir.Field.Ipv4_src; P4ir.Field.Ipv4_dst; P4ir.Field.Tcp_sport ]
+  in
+  let base = Traffic.Workload.of_flows rng flows in
+  let source =
+    Traffic.Workload.mark_fraction rng ~rate:0.2 ~field:P4ir.Field.Ipv4_dst ~value:9L base
+  in
+  let stats = run sim ~duration:1.0 ~packets ~source in
+  (window_stats_bits stats, Profile.Counter.dump (Nicsim.Exec.counters (Nicsim.Sim.exec sim)))
+
+let test_window_drivers_identical =
+  qtest ~count:20 "batched/parallel windows = sequential (bits + counters)"
+    QCheck2.Gen.(pair (map Int64.of_int int) (int_range 16 400))
+    (fun (seed, packets) ->
+      let seq = driver_fixture seed packets Nicsim.Sim.run_window in
+      let batched =
+        driver_fixture seed packets (Nicsim.Sim.run_window_batched ~batch:5)
+      in
+      let par =
+        driver_fixture seed packets (Nicsim.Sim.run_window_parallel ~domains:3)
+      in
+      seq = batched && seq = par)
 
 let synth_gen =
   let open QCheck2.Gen in
@@ -306,7 +413,8 @@ let () =
   Alcotest.run "properties"
     [ ( "bits",
         [ test_truncate_idempotent; test_lpm_equals_ternary; test_prefix_mask_popcount ] );
-      ("engines", [ test_engine_matches_reference ]);
+      ("engines", [ test_engine_matches_reference; test_lpm_plan_equals_linear ]);
+      ("window-drivers", [ test_window_drivers_identical ]);
       ("costmodel", [ test_node_sum_equals_paths; test_reach_probs_bounded ]);
       ( "optimizer",
         [ test_optimizer_preserves_semantics; test_serialize_roundtrip_random ] );
