@@ -1,0 +1,418 @@
+(* The pre-fast-path optimizer search, kept verbatim (modulo module
+   qualification) as the "before" comparator for `main.exe perf`'s
+   optimizer suite. Benchmark scaffolding only — the optimizer proper is
+   Pipeleon.Optimizer.
+
+   Characteristics being measured against:
+   - [segmentations] is an exponential unmemoized recursion, recomputed
+     from scratch for every pipelet;
+   - [evaluate_analytic] re-slices the table list per segment per combo
+     (List.init / List.filteri allocation on the hot path) and
+     recomputes every segment's metrics even when the same segment
+     appears in thousands of combos;
+   - [knapsack_solve] runs the dense DP over the full bucket grid for
+     every group, dominated options included;
+   - [global_optimize] reconstructs picks with List.nth_opt per pick;
+   - [optimize] rebuilds the topological index with List.find_index
+     inside the sort comparator.
+
+   Pipelet formation and hotspot ranking reuse the current modules (the
+   pipelet-formation list-scan fix helps the baseline too, so measured
+   speedups are conservative). Types are Pipeleon.Candidate's, so the
+   resulting plans are directly comparable with the fast path's. *)
+
+open Pipeleon.Candidate
+
+let segmentations ~opts n =
+  let rec go pos =
+    if pos >= n then [ [] ]
+    else
+      let plain = go (pos + 1) in
+      let with_segments =
+        List.concat_map
+          (fun len ->
+            if pos + len > n then []
+            else
+              let kinds =
+                (if len <= opts.max_cache_len then [ Cache_seg ] else [])
+                @ (if len >= 2 && len <= opts.max_merge_len then
+                     [ Merge_ternary_seg; Merge_fallback_seg ]
+                   else [])
+              in
+              List.concat_map
+                (fun kind ->
+                  List.map (fun rest -> { pos; len; kind } :: rest) (go (pos + len)))
+                kinds)
+          (List.init (max opts.max_cache_len opts.max_merge_len) (fun i -> i + 1))
+      in
+      plain @ with_segments
+  in
+  List.filter (fun segs -> segs <> []) (go 0) @ [ [] ]
+
+let rec take k = function
+  | [] -> []
+  | x :: rest -> if k = 0 then [] else x :: take (k - 1) rest
+
+let enumerate ?(opts = default_options) prof tabs =
+  let n = List.length tabs in
+  if n = 0 then []
+  else begin
+    let orders =
+      Pipeleon.Reorder.candidate_orders ~max_enumerate:opts.max_enumerate_order tabs
+    in
+    let greedy = Pipeleon.Reorder.greedy_drop_order prof tabs in
+    let orders = if List.mem greedy orders then orders else orders @ [ greedy ] in
+    let segs = segmentations ~opts n in
+    let identity = identity_combo n in
+    let per_order = max 1 (opts.max_combos / max 1 (List.length orders)) in
+    let combos =
+      List.concat_map
+        (fun order ->
+          let with_segs =
+            List.filter (fun s -> s <> []) segs
+            |> take (per_order - 1)
+            |> List.map (fun segs -> { order; segs })
+          in
+          { order; segs = [] } :: with_segs)
+        orders
+      |> List.filter (fun c -> c <> identity)
+    in
+    take opts.max_combos combos
+  end
+
+(* --- the old analytic evaluation --- *)
+
+let exact_entry_bytes fields =
+  List.fold_left (fun acc f -> acc + ((P4ir.Field.width f + 7) / 8)) 8 fields
+
+let merged_fields tabs =
+  List.sort_uniq P4ir.Field.compare
+    (List.concat_map
+       (fun (t : P4ir.Table.t) -> List.map (fun (k : P4ir.Table.key) -> k.field) t.keys)
+       tabs)
+
+type tinfo = {
+  t_cost : float;
+  t_drop : float;
+  t_mem : int;
+  t_upd : float;
+  t_m : float;
+  t_act : float;
+  t_entries : int;
+  t_miss : float;
+}
+
+type bctx = {
+  ctx_opts : options;
+  ctx_target : Costmodel.Target.t;
+  ctx_prof : Profile.t;
+  ctx_reach : float;
+  ctx_tabs : P4ir.Table.t array;
+  ctx_info : tinfo array;
+  ctx_latency_before : float;
+  ctx_mem_before : int;
+  ctx_upd_before : float;
+}
+
+let context ?(opts = default_options) target prof ~reach_prob tabs =
+  let arr = Array.of_list tabs in
+  let info =
+    Array.map
+      (fun (t : P4ir.Table.t) ->
+        let act = Costmodel.Cost.action_cost target prof t in
+        { t_cost = Costmodel.Target.table_match_cost target t +. act;
+          t_drop = Profile.drop_prob prof t;
+          t_mem = Costmodel.Resource.table_memory target t;
+          t_upd = Profile.update_rate prof ~table_name:t.name;
+          t_m = Costmodel.Target.m_of_table target t;
+          t_act = act;
+          t_entries = max 1 (P4ir.Table.num_entries t);
+          t_miss = Profile.action_prob prof ~table:t ~action:t.default_action })
+      arr
+  in
+  let latency_before, _ =
+    Array.fold_left
+      (fun (lat, survive) i -> (lat +. (survive *. i.t_cost), survive *. (1. -. i.t_drop)))
+      (0., 1.) info
+  in
+  { ctx_opts = opts;
+    ctx_target = target;
+    ctx_prof = prof;
+    ctx_reach = reach_prob;
+    ctx_tabs = arr;
+    ctx_info = info;
+    ctx_latency_before = latency_before;
+    ctx_mem_before = Array.fold_left (fun acc i -> acc + i.t_mem) 0 info;
+    ctx_upd_before = Array.fold_left (fun acc i -> acc +. i.t_upd) 0. info }
+
+let cache_hit_with_invalidation ctx originals_info originals =
+  let base =
+    Profile.cache_hit_estimate ctx.ctx_prof
+      ~table_names:(List.map (fun (t : P4ir.Table.t) -> t.name) originals)
+  in
+  let warmup = 0.5 in
+  let updates = List.fold_left (fun acc i -> acc +. i.t_upd) 0. originals_info in
+  base /. (1. +. (updates *. warmup))
+
+let segment_chain originals_info =
+  List.fold_left
+    (fun (lat, survive) i -> (lat +. (survive *. i.t_cost), survive *. (1. -. i.t_drop)))
+    (0., 1.) originals_info
+
+let seg_valid ctx seg originals =
+  match seg.kind with
+  | Cache_seg -> seg.len <= ctx.ctx_opts.max_cache_len && Pipeleon.Cache.cacheable originals
+  | Merge_ternary_seg ->
+    seg.len <= ctx.ctx_opts.max_merge_len && Pipeleon.Merge.mergeable originals
+  | Merge_fallback_seg ->
+    seg.len <= ctx.ctx_opts.max_merge_len
+    && Pipeleon.Merge.mergeable originals
+    && Pipeleon.Merge.fallback_compatible originals
+
+let seg_metrics ctx seg originals originals_info =
+  let target = ctx.ctx_target in
+  let opts = ctx.ctx_opts in
+  let act_sum = List.fold_left (fun acc i -> acc +. i.t_act) 0. originals_info in
+  let upd_sum = List.fold_left (fun acc i -> acc +. i.t_upd) 0. originals_info in
+  let entry_estimate = List.fold_left (fun acc i -> acc * i.t_entries) 1 originals_info in
+  let miss_cost, survive_factor = segment_chain originals_info in
+  match seg.kind with
+  | Cache_seg ->
+    let h = cache_hit_with_invalidation ctx originals_info originals in
+    let cost =
+      target.Costmodel.Target.l_mat +. (h *. act_sum) +. ((1. -. h) *. miss_cost)
+    in
+    let mem =
+      opts.cache_capacity * exact_entry_bytes (Pipeleon.Cache.live_in_fields originals)
+    in
+    (cost, mem, opts.cache_insert_limit +. upd_sum, survive_factor)
+  | Merge_ternary_seg ->
+    let m =
+      Float.max 1.
+        (List.fold_left (fun acc i -> acc *. (i.t_m +. 1.)) 1. originals_info -. 1.)
+    in
+    let cost = (m *. target.Costmodel.Target.l_mat) +. act_sum in
+    let mem =
+      int_of_float
+        (ceil
+           (float_of_int (entry_estimate * 2 * exact_entry_bytes (merged_fields originals))
+            *. m))
+    in
+    (cost, mem, Pipeleon.Merge.update_estimate ctx.ctx_prof originals, survive_factor)
+  | Merge_fallback_seg ->
+    let h = List.fold_left (fun acc i -> acc *. (1. -. i.t_miss)) 1. originals_info in
+    let cost =
+      target.Costmodel.Target.l_mat +. (h *. act_sum) +. ((1. -. h) *. miss_cost)
+    in
+    let mem = entry_estimate * exact_entry_bytes (merged_fields originals) in
+    ( cost,
+      mem,
+      Pipeleon.Merge.update_estimate ctx.ctx_prof originals +. upd_sum,
+      survive_factor )
+
+let evaluate_analytic ctx combo =
+  let n = Array.length ctx.ctx_tabs in
+  if not (Pipeleon.Reorder.order_valid ctx.ctx_tabs combo.order) then None
+  else begin
+    let order = Array.of_list combo.order in
+    let covered = Array.make n None in
+    let bad = ref false in
+    List.iter
+      (fun seg ->
+        if seg.pos < 0 || seg.pos + seg.len > n then bad := true
+        else
+          for i = seg.pos to seg.pos + seg.len - 1 do
+            if covered.(i) <> None then bad := true;
+            covered.(i) <- Some seg
+          done)
+      combo.segs;
+    if !bad then None
+    else begin
+      let orig_at i = ctx.ctx_tabs.(order.(i)) in
+      let info_at i = ctx.ctx_info.(order.(i)) in
+      let slice_tabs seg = List.init seg.len (fun j -> orig_at (seg.pos + j)) in
+      let slice_info seg = List.init seg.len (fun j -> info_at (seg.pos + j)) in
+      if not (List.for_all (fun seg -> seg_valid ctx seg (slice_tabs seg)) combo.segs)
+      then None
+      else begin
+        let latency = ref 0. in
+        let survive = ref 1.0 in
+        let mem = ref 0 in
+        let upd = ref 0. in
+        let i = ref 0 in
+        while !i < n do
+          (match covered.(!i) with
+           | None ->
+             let info = info_at !i in
+             latency := !latency +. (!survive *. info.t_cost);
+             mem := !mem + info.t_mem;
+             upd := !upd +. info.t_upd;
+             survive := !survive *. (1. -. info.t_drop);
+             incr i
+           | Some seg when seg.pos <> !i -> incr i
+           | Some seg ->
+             let originals = slice_tabs seg in
+             let originals_info = slice_info seg in
+             let cost, seg_mem, seg_upd, survive_factor =
+               seg_metrics ctx seg originals originals_info
+             in
+             latency := !latency +. (!survive *. cost);
+             (match seg.kind with
+              | Cache_seg | Merge_fallback_seg ->
+                List.iter (fun info -> mem := !mem + info.t_mem) originals_info
+              | Merge_ternary_seg -> ());
+             mem := !mem + seg_mem;
+             upd := !upd +. seg_upd;
+             survive := !survive *. survive_factor;
+             i := seg.pos + seg.len)
+        done;
+        Some
+          { combo;
+            gain = (ctx.ctx_latency_before -. !latency) *. ctx.ctx_reach;
+            latency_before = ctx.ctx_latency_before;
+            latency_after = !latency;
+            mem_delta = !mem - ctx.ctx_mem_before;
+            update_delta = !upd -. ctx.ctx_upd_before }
+      end
+    end
+  end
+
+(* --- the old dense knapsack --- *)
+
+let knapsack_solve ?(mem_buckets = 64) ?(upd_buckets = 32) ~groups ~mem_budget
+    ~upd_budget () =
+  let nm = max 1 mem_buckets in
+  let nu = max 1 upd_buckets in
+  let mem_unit = Float.max 1. (float_of_int mem_budget /. float_of_int nm) in
+  let upd_unit = Float.max 1e-9 (upd_budget /. float_of_int nu) in
+  let bucket_mem m = int_of_float (ceil (float_of_int (max 0 m) /. mem_unit)) in
+  let bucket_upd u = int_of_float (ceil (Float.max 0. u /. upd_unit)) in
+  let dp = ref (Array.make_matrix (nm + 1) (nu + 1) 0.) in
+  let picks = ref (Array.make_matrix (nm + 1) (nu + 1) ([] : (int * int) list)) in
+  List.iteri
+    (fun gi options ->
+      let prev_dp = !dp and prev_picks = !picks in
+      let next_dp = Array.map Array.copy prev_dp in
+      let next_picks = Array.map Array.copy prev_picks in
+      for m = 0 to nm do
+        for u = 0 to nu do
+          List.iter
+            (fun (o : Pipeleon.Knapsack.option_item) ->
+              if o.gain > 0. then begin
+                let cm = bucket_mem o.mem in
+                let cu = bucket_upd o.upd in
+                if cm <= m && cu <= u then begin
+                  let candidate = prev_dp.(m - cm).(u - cu) +. o.gain in
+                  if candidate > next_dp.(m).(u) then begin
+                    next_dp.(m).(u) <- candidate;
+                    next_picks.(m).(u) <- (gi, o.tag) :: prev_picks.(m - cm).(u - cu)
+                  end
+                end
+              end)
+            options
+        done
+      done;
+      dp := next_dp;
+      picks := next_picks)
+    groups;
+  (List.rev (!picks).(nm).(nu), (!dp).(nm).(nu))
+
+(* --- the old search driver --- *)
+
+type plan = {
+  choices : (Pipeleon.Hotspot.hot * evaluated) list;
+  predicted_gain : float;
+}
+
+let local_optimize ?opts target prof prog hots =
+  List.map
+    (fun (hot : Pipeleon.Hotspot.hot) ->
+      let originals = Pipeleon.Pipelet.tables prog hot.pipelet in
+      let combos = enumerate ?opts prof originals in
+      let ctx = context ?opts target prof ~reach_prob:hot.reach_prob originals in
+      let evaluated =
+        List.filter_map
+          (fun combo ->
+            match evaluate_analytic ctx combo with
+            | Some e when e.gain > 0. -> Some e
+            | _ -> None)
+          combos
+      in
+      (hot, evaluated))
+    hots
+
+let global_optimize ~headroom_mem ~headroom_upd candidates =
+  let groups =
+    List.map
+      (fun (_, evaluated) ->
+        List.mapi
+          (fun i (e : evaluated) ->
+            { Pipeleon.Knapsack.gain = e.gain;
+              mem = e.mem_delta;
+              upd = e.update_delta;
+              tag = i })
+          evaluated)
+      candidates
+  in
+  let picks, total_gain =
+    knapsack_solve ~groups ~mem_budget:headroom_mem ~upd_budget:headroom_upd ()
+  in
+  let arr = Array.of_list candidates in
+  let choices =
+    List.filter_map
+      (fun (gi, tag) ->
+        if gi < Array.length arr then
+          let hot, evaluated = arr.(gi) in
+          List.nth_opt evaluated tag |> Option.map (fun e -> (hot, e))
+        else None)
+      picks
+  in
+  { choices; predicted_gain = total_gain }
+
+(* End-to-end: the old Optimizer.optimize shape with groups disabled
+   (matching the perf fixture's config on the fast-path side). *)
+let optimize ?(opts = default_options) ?(top_k = 1.0) ?(max_pipelet_len = 8)
+    ?(generation = 0) target prof prog =
+  let budget = Costmodel.Resource.default_budget in
+  let pipelets = Pipeleon.Pipelet.form ~max_len:max_pipelet_len prog in
+  let hots = Pipeleon.Hotspot.rank target prof prog pipelets in
+  let top = Pipeleon.Hotspot.top_k ~fraction:top_k hots in
+  let name_prefix = Printf.sprintf "__g%d" generation in
+  let candidates = local_optimize ~opts target prof prog top in
+  let headroom_mem =
+    max 0 (budget.memory_bytes - Costmodel.Resource.program_memory target prog)
+  in
+  let headroom_upd =
+    Float.max 0.
+      (budget.updates_per_sec -. Costmodel.Resource.program_update_rate prof prog)
+  in
+  let plan = global_optimize ~headroom_mem ~headroom_upd candidates in
+  let topo_index =
+    let order = P4ir.Program.topological_order prog in
+    fun id ->
+      match List.find_index (Int.equal id) order with Some i -> i | None -> max_int
+  in
+  let ordered_choices =
+    List.stable_sort
+      (fun ((a : Pipeleon.Hotspot.hot), _) ((b : Pipeleon.Hotspot.hot), _) ->
+        compare
+          (topo_index a.pipelet.Pipeleon.Pipelet.entry)
+          (topo_index b.pipelet.Pipeleon.Pipelet.entry))
+      plan.choices
+  in
+  let optimized, applied =
+    List.fold_left
+      (fun (prog, applied) ((hot : Pipeleon.Hotspot.hot), (e : evaluated)) ->
+        let originals = Pipeleon.Pipelet.tables prog hot.pipelet in
+        let prefix =
+          Printf.sprintf "%s_p%d" name_prefix hot.pipelet.Pipeleon.Pipelet.entry
+        in
+        match realize ~opts ~name_prefix:prefix originals e.combo with
+        | Some elements -> (
+          match Pipeleon.Transform.apply prog hot.pipelet elements with
+          | prog -> (prog, (hot, e) :: applied)
+          | exception Invalid_argument _ -> (prog, applied))
+        | None | (exception Invalid_argument _) -> (prog, applied))
+      (prog, []) ordered_choices
+  in
+  (optimized, { plan with choices = List.rev applied })

@@ -319,7 +319,13 @@ let fuzz_cmd =
     Arg.(value & opt (some dir) None
          & info [ "replay" ] ~docv:"DIR" ~doc:"Re-run a repro bundle instead of fuzzing.")
   in
-  let run mode seed budget packets out mutant replay target =
+  let parallel_arg =
+    Arg.(value & flag
+         & info [ "optimizer-parallel" ]
+             ~doc:"Run the optimizer's local search across domains (the fast path); \
+                   plans must stay identical to the sequential reference.")
+  in
+  let run mode seed budget packets out mutant replay parallel target =
     let mutate =
       Option.map
         (fun name ->
@@ -330,9 +336,16 @@ let fuzz_cmd =
             exit 2)
         mutant
     in
+    let optimizer_config =
+      if parallel then
+        Some
+          { Fuzz.Driver.default_optimizer_config with
+            Pipeleon.Optimizer.use_parallel = true }
+      else None
+    in
     match replay with
     | Some dir -> (
-      match Fuzz.Driver.replay ?mutate ~target mode ~dir with
+      match Fuzz.Driver.replay ?optimizer_config ?mutate ~target mode ~dir with
       | None ->
         print_endline "replay: no divergence";
         exit 0
@@ -345,7 +358,10 @@ let fuzz_cmd =
         exit 1)
     | None ->
       let out_dir = if out = "none" then None else Some out in
-      let report = Fuzz.Driver.run ?out_dir ?mutate ~n_packets:packets ~target mode ~seed ~budget in
+      let report =
+        Fuzz.Driver.run ?out_dir ?optimizer_config ?mutate ~n_packets:packets ~target mode
+          ~seed ~budget
+      in
       print_string (Fuzz.Driver.summary report);
       if report.Fuzz.Driver.findings <> [] then exit 1
   in
@@ -356,7 +372,7 @@ let fuzz_cmd =
           packet streams; replay them through independent executions; shrink and \
           persist any divergence.")
     Term.(const run $ mode_arg $ seed_arg $ budget_arg $ packets_arg $ out_arg $ mutant_arg
-          $ replay_arg $ target_arg)
+          $ replay_arg $ parallel_arg $ target_arg)
 
 let () =
   let info =

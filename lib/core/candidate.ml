@@ -33,37 +33,60 @@ type evaluated = {
 let identity_combo n = { order = List.init n Fun.id; segs = [] }
 
 (* Segmentations: walk positions left to right; at each position either
-   leave the table plain or open a segment of one of the kinds. *)
-let segmentations ~opts n =
+   leave the table plain or open a segment of one of the kinds. [go pos]
+   is a pure function of the position, so it is memoized — the naive
+   recursion re-derives [go (pos + len)] once per (len, kind) parent and
+   goes exponential in the pipelet length. *)
+let segmentations_uncached ~opts n =
+  let memo = Array.make (max 1 n) None in
   let rec go pos =
     if pos >= n then [ [] ]
     else
-      let plain = go (pos + 1) in
-      let with_segments =
-        List.concat_map
-          (fun len ->
-            if pos + len > n then []
-            else
-              let kinds =
-                (if len <= opts.max_cache_len then [ Cache_seg ] else [])
-                @ (if len >= 2 && len <= opts.max_merge_len then
-                     [ Merge_ternary_seg; Merge_fallback_seg ]
-                   else [])
-              in
-              List.concat_map
-                (fun kind ->
-                  List.map (fun rest -> { pos; len; kind } :: rest) (go (pos + len)))
-                kinds)
-          (List.init (max opts.max_cache_len opts.max_merge_len) (fun i -> i + 1))
-      in
-      plain @ with_segments
+      match memo.(pos) with
+      | Some r -> r
+      | None ->
+        let plain = go (pos + 1) in
+        let with_segments =
+          List.concat_map
+            (fun len ->
+              if pos + len > n then []
+              else
+                let kinds =
+                  (if len <= opts.max_cache_len then [ Cache_seg ] else [])
+                  @ (if len >= 2 && len <= opts.max_merge_len then
+                       [ Merge_ternary_seg; Merge_fallback_seg ]
+                     else [])
+                in
+                List.concat_map
+                  (fun kind ->
+                    List.map (fun rest -> { pos; len; kind } :: rest) (go (pos + len)))
+                  kinds)
+            (List.init (max opts.max_cache_len opts.max_merge_len) (fun i -> i + 1))
+        in
+        let r = plain @ with_segments in
+        memo.(pos) <- Some r;
+        r
   in
   (* Drop the all-plain segmentation; it is the reorder-only combo. *)
   List.filter (fun segs -> segs <> []) (go 0) @ [ [] ]
 
-let rec take k = function
-  | [] -> []
-  | x :: rest -> if k = 0 then [] else x :: take (k - 1) rest
+(* The result depends only on (n, max_cache_len, max_merge_len), and the
+   same pipelet lengths recur across pipelets and re-optimization epochs,
+   so keep a process-wide cache. Mutex-guarded: the parallel local
+   search enumerates from worker domains. *)
+let seg_cache : (int * int * int, seg list list) Hashtbl.t = Hashtbl.create 16
+let seg_cache_mutex = Mutex.create ()
+
+let segmentations ~opts n =
+  let key = (n, opts.max_cache_len, opts.max_merge_len) in
+  Mutex.protect seg_cache_mutex (fun () ->
+      match Hashtbl.find_opt seg_cache key with
+      | Some segs -> segs
+      | None ->
+        let segs = segmentations_uncached ~opts n in
+        Hashtbl.replace seg_cache key segs;
+        segs)
+
 
 let enumerate ?(opts = default_options) prof tabs =
   let n = List.length tabs in
@@ -83,14 +106,14 @@ let enumerate ?(opts = default_options) prof tabs =
         (fun order ->
           let with_segs =
             List.filter (fun s -> s <> []) segs
-            |> take (per_order - 1)
+            |> Stdx.Listx.take (per_order - 1)
             |> List.map (fun segs -> { order; segs })
           in
           { order; segs = [] } :: with_segs)
         orders
       |> List.filter (fun c -> c <> identity)
     in
-    take opts.max_combos combos
+    Stdx.Listx.take opts.max_combos combos
   end
 
 let slice xs pos len =
@@ -309,6 +332,19 @@ type tinfo = {
   t_miss : float;  (* probability the default action fires *)
 }
 
+(* Cost, memory, update-rate, and survival contribution of one segment:
+   a pure function of the segment kind and the original tables covered,
+   independent of where the segment sits in the reordered pipelet.
+   Memoized per context — segmentations across candidate orders share
+   almost all of their segments. *)
+type seg_info = {
+  si_valid : bool;
+  si_cost : float;
+  si_mem : int;  (* segment memory, plus resident originals for caches *)
+  si_upd : float;
+  si_survive : float;
+}
+
 type ctx = {
   ctx_opts : options;
   ctx_target : Costmodel.Target.t;
@@ -319,6 +355,11 @@ type ctx = {
   ctx_latency_before : float;
   ctx_mem_before : int;
   ctx_upd_before : float;
+  (* Scratch reused across evaluate_analytic calls (a context is built
+     and driven by one search thread; it is not domain-shareable). *)
+  ctx_order : int array;
+  ctx_covered : int array;
+  ctx_seg_memo : (seg_kind * int list, seg_info) Hashtbl.t;
 }
 
 let context ?(opts = default_options) target prof ~reach_prob tabs =
@@ -350,7 +391,10 @@ let context ?(opts = default_options) target prof ~reach_prob tabs =
     ctx_info = info;
     ctx_latency_before = latency_before;
     ctx_mem_before = Array.fold_left (fun acc i -> acc + i.t_mem) 0 info;
-    ctx_upd_before = Array.fold_left (fun acc i -> acc +. i.t_upd) 0. info }
+    ctx_upd_before = Array.fold_left (fun acc i -> acc +. i.t_upd) 0. info;
+    ctx_order = Array.make (max 1 (Array.length arr)) 0;
+    ctx_covered = Array.make (max 1 (Array.length arr)) (-1);
+    ctx_seg_memo = Hashtbl.create 64 }
 
 let cache_hit_with_invalidation ctx originals_info originals =
   let base =
@@ -368,24 +412,24 @@ let segment_chain originals_info =
     (fun (lat, survive) i -> (lat +. (survive *. i.t_cost), survive *. (1. -. i.t_drop)))
     (0., 1.) originals_info
 
-let seg_valid ctx seg originals =
-  match seg.kind with
-  | Cache_seg -> seg.len <= ctx.ctx_opts.max_cache_len && Cache.cacheable originals
-  | Merge_ternary_seg -> seg.len <= ctx.ctx_opts.max_merge_len && Merge.mergeable originals
+let seg_valid ctx kind len originals =
+  match kind with
+  | Cache_seg -> len <= ctx.ctx_opts.max_cache_len && Cache.cacheable originals
+  | Merge_ternary_seg -> len <= ctx.ctx_opts.max_merge_len && Merge.mergeable originals
   | Merge_fallback_seg ->
-    seg.len <= ctx.ctx_opts.max_merge_len
+    len <= ctx.ctx_opts.max_merge_len
     && Merge.mergeable originals
     && Merge.fallback_compatible originals
 
 (* Cost, memory, update-rate, and survival contribution of one segment. *)
-let seg_metrics ctx seg originals originals_info =
+let seg_metrics ctx kind originals originals_info =
   let target = ctx.ctx_target in
   let opts = ctx.ctx_opts in
   let act_sum = List.fold_left (fun acc i -> acc +. i.t_act) 0. originals_info in
   let upd_sum = List.fold_left (fun acc i -> acc +. i.t_upd) 0. originals_info in
   let entry_estimate = List.fold_left (fun acc i -> acc * i.t_entries) 1 originals_info in
   let miss_cost, survive_factor = segment_chain originals_info in
-  match seg.kind with
+  match kind with
   | Cache_seg ->
     let h = cache_hit_with_invalidation ctx originals_info originals in
     let cost =
@@ -420,30 +464,69 @@ let seg_metrics ctx seg originals originals_info =
     let mem = entry_estimate * exact_entry_bytes (merged_fields originals) in
     (cost, mem, Merge.update_estimate ctx.ctx_prof originals +. upd_sum, survive_factor)
 
+(* Memoized per-segment evaluation, keyed by (kind, covered original
+   table indices). Validity, cost, memory and update rate are position-
+   independent, so segments shared across candidate orders (the common
+   case: segmentations are enumerated per order) are computed once. *)
+let seg_info_of ctx kind idxs =
+  match Hashtbl.find_opt ctx.ctx_seg_memo (kind, idxs) with
+  | Some si -> si
+  | None ->
+    let originals = List.map (fun i -> ctx.ctx_tabs.(i)) idxs in
+    let originals_info = List.map (fun i -> ctx.ctx_info.(i)) idxs in
+    let len = List.length idxs in
+    let si =
+      if not (seg_valid ctx kind len originals) then
+        { si_valid = false; si_cost = 0.; si_mem = 0; si_upd = 0.; si_survive = 1. }
+      else begin
+        let cost, seg_mem, seg_upd, survive_factor =
+          seg_metrics ctx kind originals originals_info
+        in
+        (* Caches and fallback merges keep the originals resident. *)
+        let resident =
+          match kind with
+          | Cache_seg | Merge_fallback_seg ->
+            List.fold_left (fun acc (i : tinfo) -> acc + i.t_mem) 0 originals_info
+          | Merge_ternary_seg -> 0
+        in
+        { si_valid = true;
+          si_cost = cost;
+          si_mem = seg_mem + resident;
+          si_upd = seg_upd;
+          si_survive = survive_factor }
+      end
+    in
+    Hashtbl.replace ctx.ctx_seg_memo (kind, idxs) si;
+    si
+
 let evaluate_analytic ctx combo =
   let n = Array.length ctx.ctx_tabs in
   if not (Reorder.order_valid ctx.ctx_tabs combo.order) then None
   else begin
-    let order = Array.of_list combo.order in
-    let covered = Array.make n None in
+    (* order_valid guarantees a permutation of 0..n-1, so the scratch
+       arrays are filled completely. *)
+    let order = ctx.ctx_order in
+    List.iteri (fun i v -> order.(i) <- v) combo.order;
+    let covered = ctx.ctx_covered in
+    Array.fill covered 0 n (-1);
+    let segs = Array.of_list combo.segs in
     let bad = ref false in
-    List.iter
-      (fun seg ->
+    Array.iteri
+      (fun s seg ->
         if seg.pos < 0 || seg.pos + seg.len > n then bad := true
         else
           for i = seg.pos to seg.pos + seg.len - 1 do
-            if covered.(i) <> None then bad := true;
-            covered.(i) <- Some seg
+            if covered.(i) >= 0 then bad := true;
+            covered.(i) <- s
           done)
-      combo.segs;
+      segs;
     if !bad then None
     else begin
-      let orig_at i = ctx.ctx_tabs.(order.(i)) in
-      let info_at i = ctx.ctx_info.(order.(i)) in
-      let slice_tabs seg = List.init seg.len (fun j -> orig_at (seg.pos + j)) in
-      let slice_info seg = List.init seg.len (fun j -> info_at (seg.pos + j)) in
-      if not (List.for_all (fun seg -> seg_valid ctx seg (slice_tabs seg)) combo.segs)
-      then None
+      let rec idxs_of pos len = if len = 0 then [] else order.(pos) :: idxs_of (pos + 1) (len - 1) in
+      let infos =
+        Array.map (fun seg -> seg_info_of ctx seg.kind (idxs_of seg.pos seg.len)) segs
+      in
+      if not (Array.for_all (fun si -> si.si_valid) infos) then None
       else begin
         let latency = ref 0. in
         let survive = ref 1.0 in
@@ -451,31 +534,24 @@ let evaluate_analytic ctx combo =
         let upd = ref 0. in
         let i = ref 0 in
         while !i < n do
-          (match covered.(!i) with
-           | None ->
-             let info = info_at !i in
-             latency := !latency +. (!survive *. info.t_cost);
-             mem := !mem + info.t_mem;
-             upd := !upd +. info.t_upd;
-             survive := !survive *. (1. -. info.t_drop);
-             incr i
-           | Some seg when seg.pos <> !i -> incr i
-           | Some seg ->
-             let originals = slice_tabs seg in
-             let originals_info = slice_info seg in
-             let cost, seg_mem, seg_upd, survive_factor =
-               seg_metrics ctx seg originals originals_info
-             in
-             latency := !latency +. (!survive *. cost);
-             (* Caches and fallback merges keep the originals resident. *)
-             (match seg.kind with
-              | Cache_seg | Merge_fallback_seg ->
-                List.iter (fun info -> mem := !mem + info.t_mem) originals_info
-              | Merge_ternary_seg -> ());
-             mem := !mem + seg_mem;
-             upd := !upd +. seg_upd;
-             survive := !survive *. survive_factor;
-             i := seg.pos + seg.len)
+          let s = covered.(!i) in
+          if s < 0 then begin
+            let info = ctx.ctx_info.(order.(!i)) in
+            latency := !latency +. (!survive *. info.t_cost);
+            mem := !mem + info.t_mem;
+            upd := !upd +. info.t_upd;
+            survive := !survive *. (1. -. info.t_drop);
+            incr i
+          end
+          else if segs.(s).pos <> !i then incr i (* zero-length seg marker *)
+          else begin
+            let si = infos.(s) in
+            latency := !latency +. (!survive *. si.si_cost);
+            mem := !mem + si.si_mem;
+            upd := !upd +. si.si_upd;
+            survive := !survive *. si.si_survive;
+            i := segs.(s).pos + segs.(s).len
+          end
         done;
         Some
           { combo;

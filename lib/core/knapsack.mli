@@ -12,6 +12,30 @@ type option_item = { gain : float; mem : int; upd : float; tag : int }
 type solution = { total_gain : float; picks : (int * int) list }
 (** [(group_index, tag)] for every group that got an option. *)
 
+type stats = {
+  options_before : int;  (** options handed in across all groups *)
+  options_after : int;  (** options surviving budget + dominance pruning *)
+  dp_cells : int;  (** DP cells touched (layer copies + option sweeps) *)
+}
+
+val solve_stats :
+  ?mem_buckets:int ->
+  ?upd_buckets:int ->
+  ?prune:bool ->
+  groups:option_item list list ->
+  mem_budget:int ->
+  upd_budget:float ->
+  unit ->
+  solution * stats
+(** Dynamic program over at most [mem_buckets x upd_buckets] (default
+    64 x 32) states. Options whose (clamped) cost exceeds a budget are
+    skipped. Bucket rounding is upward, so the solution never overruns
+    budgets. [prune] (default true) drops per-group options dominated in
+    (gain, bucketed mem, bucketed upd); the total gain is bit-identical
+    with or without pruning (tie-broken picks may differ between
+    gain-equal options). The DP only materializes cells reachable given
+    the cumulative per-group max cost, skipping empty groups. *)
+
 val solve :
   ?mem_buckets:int ->
   ?upd_buckets:int ->
@@ -20,9 +44,7 @@ val solve :
   upd_budget:float ->
   unit ->
   solution
-(** Dynamic program over [mem_buckets x upd_buckets] (default 64 x 32)
-    states. Options whose (clamped) cost exceeds a budget are skipped.
-    Bucket rounding is upward, so the solution never overruns budgets. *)
+(** [solve_stats] with pruning on, discarding the stats. *)
 
 val greedy :
   groups:option_item list list -> mem_budget:int -> upd_budget:float -> solution

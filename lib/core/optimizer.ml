@@ -5,6 +5,7 @@ type config = {
   max_pipelet_len : int;
   enable_groups : bool;
   use_greedy_global : bool;
+  use_parallel : bool;
 }
 
 let default_config =
@@ -13,7 +14,13 @@ let default_config =
     candidate_opts = Candidate.default_options;
     max_pipelet_len = 8;
     enable_groups = true;
-    use_greedy_global = false }
+    use_greedy_global = false;
+    use_parallel = false }
+
+type warm = {
+  warm_cache : Search.eval_cache;
+  warm_signature : Profile.t -> Hotspot.hot -> P4ir.Table.t list -> string;
+}
 
 type result = {
   program : P4ir.Program.t;
@@ -24,14 +31,21 @@ type result = {
   elapsed_seconds : float;
 }
 
-let optimize ?(config = default_config) ?(generation = 0) target prof prog =
+let optimize ?(config = default_config) ?(generation = 0) ?warm target prof prog =
   let t0 = Sys.time () in
   let pipelets = Pipelet.form ~max_len:config.max_pipelet_len prog in
   let hots = Hotspot.rank target prof prog pipelets in
   let top = Hotspot.top_k ~fraction:config.top_k hots in
   let name_prefix = Printf.sprintf "__g%d" generation in
+  let cache = Option.map (fun w -> w.warm_cache) warm in
+  let signature = Option.map (fun w -> w.warm_signature prof) warm in
   let candidates =
-    Search.local_optimize ~opts:config.candidate_opts ~name_prefix target prof prog top
+    if config.use_parallel then
+      Search.local_optimize_parallel ~opts:config.candidate_opts ~name_prefix ?cache
+        ?signature target prof prog top
+    else
+      Search.local_optimize ~opts:config.candidate_opts ~name_prefix ?cache ?signature
+        target prof prog top
   in
   let headroom_mem =
     max 0 (config.budget.memory_bytes - Costmodel.Resource.program_memory target prog)
@@ -57,8 +71,9 @@ let optimize ?(config = default_config) ?(generation = 0) target prof prog =
      pipelet is itself rewritten. *)
   let topo_index =
     let order = P4ir.Program.topological_order prog in
-    fun id ->
-      match List.find_index (Int.equal id) order with Some i -> i | None -> max_int
+    let tbl = Hashtbl.create 64 in
+    List.iteri (fun i id -> if not (Hashtbl.mem tbl id) then Hashtbl.add tbl id i) order;
+    fun id -> match Hashtbl.find_opt tbl id with Some i -> i | None -> max_int
   in
   let ordered_choices =
     List.stable_sort

@@ -8,10 +8,23 @@ type config = {
   max_pipelet_len : int;
   enable_groups : bool;  (** cross-pipelet group caching (§5.4.4) *)
   use_greedy_global : bool;  (** ablation: greedy instead of knapsack *)
+  use_parallel : bool;
+      (** evaluate hot pipelets across OCaml 5 domains
+          ({!Search.local_optimize_parallel}); plans are bit-identical to
+          the sequential path *)
 }
 
 val default_config : config
-(** top 20%, default budget, groups on, knapsack global search. *)
+(** top 20%, default budget, groups on, knapsack global search,
+    sequential local search. *)
+
+type warm = {
+  warm_cache : Search.eval_cache;
+  warm_signature : Profile.t -> Hotspot.hot -> P4ir.Table.t list -> string;
+}
+(** Warm-start state for successive generations: a persistent evaluation
+    cache plus the signature keying it (normally
+    [Runtime.Incremental.pipelet_signature]). *)
 
 type result = {
   program : P4ir.Program.t;  (** the rewritten program *)
@@ -27,14 +40,18 @@ type result = {
 val optimize :
   ?config:config ->
   ?generation:int ->
+  ?warm:warm ->
   Costmodel.Target.t ->
   Profile.t ->
   P4ir.Program.t ->
   result
 (** One optimization round. [generation] disambiguates generated table
-    names across successive runtime rounds. The input program should
-    carry current table entries (see {!Nicsim.Exec.sync_entries_to_ir})
-    so match-kind [m] values and resource accounting are current. *)
+    names across successive runtime rounds. [warm] lets a long-lived
+    controller reuse candidate evaluations for pipelets whose signature
+    (tables + bucketed profile) is unchanged since a previous round. The
+    input program should carry current table entries (see
+    {!Nicsim.Exec.sync_entries_to_ir}) so match-kind [m] values and
+    resource accounting are current. *)
 
 val describe : result -> string
 (** Human-readable plan summary (one line per choice). *)

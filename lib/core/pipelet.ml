@@ -81,7 +81,11 @@ let form ?(max_len = 8) prog =
   in
   (* Topological order guarantees a run's head is visited before its
      interior nodes are offered as starts. *)
-  List.iter start (P4ir.Program.topological_order prog |> List.filter (fun id -> List.mem id reachable));
+  let reach_set = Hashtbl.create 64 in
+  List.iter (fun id -> Hashtbl.replace reach_set id ()) reachable;
+  List.iter start
+    (P4ir.Program.topological_order prog
+    |> List.filter (fun id -> Hashtbl.mem reach_set id));
   List.rev !pipelets
 
 let pp fmt p =

@@ -8,27 +8,129 @@ type plan = {
   group_choices : Group.evaluated list;
   predicted_gain : float;
   candidates_examined : int;
+  solver_stats : Knapsack.stats option;
 }
 
-let local_optimize ?opts ?name_prefix target prof prog hots =
+type eval_cache = {
+  tbl : (string, Candidate.evaluated list) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create_cache () = { tbl = Hashtbl.create 64; hits = 0; misses = 0 }
+
+let cache_stats c = (c.hits, c.misses)
+
+(* Bound the warm cache; a controller that sees endlessly-churning
+   profiles would otherwise grow it without limit. *)
+let cache_capacity = 8192
+
+let cache_store c key evaluated =
+  if Hashtbl.length c.tbl >= cache_capacity then Hashtbl.reset c.tbl;
+  Hashtbl.replace c.tbl key evaluated
+
+let evaluate_pipelet ?opts target prof ~reach_prob originals =
+  let combos = Candidate.enumerate ?opts prof originals in
+  (* Analytic evaluation only: materializing candidate tables (cross
+     products!) happens once, for the chosen combination. *)
+  let ctx = Candidate.context ?opts target prof ~reach_prob originals in
+  List.filter_map
+    (fun combo ->
+      match Candidate.evaluate_analytic ctx combo with
+      | Some e when e.Candidate.gain > 0. -> Some e
+      | _ -> None)
+    combos
+
+let cache_probe cache key =
+  match (cache, key) with
+  | Some c, Some k -> (
+    match Hashtbl.find_opt c.tbl k with
+    | Some ev ->
+      c.hits <- c.hits + 1;
+      Some ev
+    | None ->
+      c.misses <- c.misses + 1;
+      None)
+  | _ -> None
+
+let local_optimize ?opts ?name_prefix ?cache ?signature target prof prog hots =
   ignore name_prefix;
   List.map
     (fun (hot : Hotspot.hot) ->
       let originals = Pipelet.tables prog hot.pipelet in
-      let combos = Candidate.enumerate ?opts prof originals in
-      (* Analytic evaluation only: materializing candidate tables (cross
-         products!) happens once, for the chosen combination. *)
-      let ctx = Candidate.context ?opts target prof ~reach_prob:hot.reach_prob originals in
+      let key = Option.map (fun sign -> sign hot originals) signature in
       let evaluated =
-        List.filter_map
-          (fun combo ->
-            match Candidate.evaluate_analytic ctx combo with
-            | Some e when e.Candidate.gain > 0. -> Some e
-            | _ -> None)
-          combos
+        match cache_probe cache key with
+        | Some ev -> ev
+        | None ->
+          let ev = evaluate_pipelet ?opts target prof ~reach_prob:hot.reach_prob originals in
+          (match (cache, key) with
+           | Some c, Some k -> cache_store c k ev
+           | _ -> ());
+          ev
       in
       { hot; evaluated })
     hots
+
+let local_optimize_parallel ?opts ?name_prefix ?cache ?signature ?domains target prof
+    prog hots =
+  let hots_arr = Array.of_list hots in
+  let n = Array.length hots_arr in
+  let requested =
+    match domains with Some d -> d | None -> Domain.recommended_domain_count ()
+  in
+  let ndom = max 1 (min requested n) in
+  if ndom < 2 || n < 2 then
+    local_optimize ?opts ?name_prefix ?cache ?signature target prof prog hots
+  else begin
+    ignore name_prefix;
+    (* Pipelet table extraction and warm-cache probes stay on this
+       domain: Hashtbl is not domain-safe. Only cache misses fan out. *)
+    let originals_arr =
+      Array.map (fun (h : Hotspot.hot) -> Pipelet.tables prog h.pipelet) hots_arr
+    in
+    let keys =
+      Array.init n (fun i ->
+          Option.map (fun sign -> sign hots_arr.(i) originals_arr.(i)) signature)
+    in
+    let results = Array.make n None in
+    let miss_idx = ref [] in
+    for i = n - 1 downto 0 do
+      match cache_probe cache keys.(i) with
+      | Some ev -> results.(i) <- Some ev
+      | None -> miss_idx := i :: !miss_idx
+    done;
+    let misses = Array.of_list !miss_idx in
+    let nmiss = Array.length misses in
+    (* Evaluation is pure over immutable inputs (profile, program,
+       target) and allocates its own scratch context per pipelet, so
+       each domain computes exactly what the sequential path would.
+       Strided assignment; every result lands in its own slot, and the
+       final list is rebuilt in pipelet order — bit-identical plans. *)
+    let worker d () =
+      let j = ref d in
+      while !j < nmiss do
+        let i = misses.(!j) in
+        results.(i) <-
+          Some
+            (evaluate_pipelet ?opts target prof ~reach_prob:hots_arr.(i).reach_prob
+               originals_arr.(i));
+        j := !j + ndom
+      done
+    in
+    let spawned = Array.init (ndom - 1) (fun d -> Domain.spawn (worker (d + 1))) in
+    worker 0 ();
+    Array.iter Domain.join spawned;
+    Array.iter
+      (fun i ->
+        match (cache, keys.(i), results.(i)) with
+        | Some c, Some k, Some ev -> cache_store c k ev
+        | _ -> ())
+      misses;
+    List.init n (fun i ->
+        { hot = hots_arr.(i);
+          evaluated = (match results.(i) with Some ev -> ev | None -> []) })
+  end
 
 let global_optimize ?(use_greedy = false) ~budget ~headroom_mem ~headroom_upd candidates =
   let groups =
@@ -41,25 +143,31 @@ let global_optimize ?(use_greedy = false) ~budget ~headroom_mem ~headroom_upd ca
       candidates
   in
   ignore budget;
-  let solution =
+  let solution, solver_stats =
     if use_greedy then
-      Knapsack.greedy ~groups ~mem_budget:headroom_mem ~upd_budget:headroom_upd
-    else Knapsack.solve ~groups ~mem_budget:headroom_mem ~upd_budget:headroom_upd ()
+      (Knapsack.greedy ~groups ~mem_budget:headroom_mem ~upd_budget:headroom_upd, None)
+    else
+      let sol, stats =
+        Knapsack.solve_stats ~groups ~mem_budget:headroom_mem ~upd_budget:headroom_upd ()
+      in
+      (sol, Some stats)
   in
   let arr = Array.of_list candidates in
+  let ev_arrays = Array.map (fun pc -> Array.of_list pc.evaluated) arr in
   let choices =
     List.filter_map
       (fun (gi, tag) ->
-        if gi < Array.length arr then
-          let pc = arr.(gi) in
-          List.nth_opt pc.evaluated tag |> Option.map (fun e -> (pc.hot, e))
+        if gi >= 0 && gi < Array.length arr && tag >= 0 && tag < Array.length ev_arrays.(gi)
+        then Some (arr.(gi).hot, ev_arrays.(gi).(tag))
         else None)
       solution.Knapsack.picks
   in
   { choices;
     group_choices = [];
     predicted_gain = solution.Knapsack.total_gain;
-    candidates_examined = List.fold_left (fun acc pc -> acc + List.length pc.evaluated) 0 candidates }
+    candidates_examined =
+      List.fold_left (fun acc pc -> acc + List.length pc.evaluated) 0 candidates;
+    solver_stats }
 
 let with_groups ?opts ?(name_prefix = "__opt") target prof prog ~candidates ~chosen =
   let cache_opts = match opts with Some o -> o | None -> Candidate.default_options in
@@ -81,13 +189,14 @@ let with_groups ?opts ?(name_prefix = "__opt") target prof prog ~candidates ~cho
         | None -> None
         | Some cache ->
           let e = Group.evaluate target prof prog g ~cache in
-          let member_entries =
-            List.map (fun (p : Pipelet.t) -> p.Pipelet.entry) g.Group.members
-          in
+          let member_set = Hashtbl.create 16 in
+          List.iter
+            (fun (p : Pipelet.t) -> Hashtbl.replace member_set p.Pipelet.entry ())
+            g.Group.members;
           let member_choices, others =
             List.partition
               (fun ((hot : Hotspot.hot), _) ->
-                List.mem hot.pipelet.Pipelet.entry member_entries)
+                Hashtbl.mem member_set hot.pipelet.Pipelet.entry)
               !choices
           in
           let member_gain =

@@ -12,18 +12,55 @@ type plan = {
   group_choices : Group.evaluated list;
   predicted_gain : float;
   candidates_examined : int;
+  solver_stats : Knapsack.stats option;
+      (** knapsack pruning / DP-work stats; [None] for the greedy path *)
 }
+
+type eval_cache
+(** Warm-start cache mapping a pipelet signature (see
+    {!Runtime.Incremental.pipelet_signature}) to its evaluated candidate
+    list. Owned by a long-lived controller and passed into successive
+    optimization rounds; unchanged-profile pipelets skip re-enumeration.
+    Not domain-safe: probe/store only from the calling domain (the
+    parallel path does). Bounded; resets wholesale when full. *)
+
+val create_cache : unit -> eval_cache
+
+val cache_stats : eval_cache -> int * int
+(** [(hits, misses)] accumulated over the cache's lifetime. *)
 
 val local_optimize :
   ?opts:Candidate.options ->
   ?name_prefix:string ->
+  ?cache:eval_cache ->
+  ?signature:(Hotspot.hot -> P4ir.Table.t list -> string) ->
   Costmodel.Target.t ->
   Profile.t ->
   P4ir.Program.t ->
   Hotspot.hot list ->
   pipelet_candidates list
-(** LocalOptimize: enumerate, realize, and evaluate every valid
-    combination for each pipelet. *)
+(** LocalOptimize: enumerate and analytically evaluate every valid
+    combination for each pipelet. When both [cache] and [signature] are
+    given, each pipelet's evaluated list is reused from the cache when
+    its signature matches a previous round. *)
+
+val local_optimize_parallel :
+  ?opts:Candidate.options ->
+  ?name_prefix:string ->
+  ?cache:eval_cache ->
+  ?signature:(Hotspot.hot -> P4ir.Table.t list -> string) ->
+  ?domains:int ->
+  Costmodel.Target.t ->
+  Profile.t ->
+  P4ir.Program.t ->
+  Hotspot.hot list ->
+  pipelet_candidates list
+(** [local_optimize] fanned out across OCaml 5 domains, one stride per
+    domain over the cache-miss pipelets. Evaluation is pure and RNG-free
+    and results are merged in pipelet order, so the output is
+    bit-identical to the sequential path. [domains] defaults to
+    [Domain.recommended_domain_count ()]; with one domain or fewer than
+    two pipelets it falls back to [local_optimize]. *)
 
 val global_optimize :
   ?use_greedy:bool ->

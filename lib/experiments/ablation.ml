@@ -180,7 +180,8 @@ let incremental_vs_full () =
     let target = Costmodel.Target.agilio_cx in
     let sim = Nicsim.Sim.create target (Fig11.dash_program ()) in
     let config =
-      { Runtime.Controller.reconfig_downtime = 2.0;
+      { Runtime.Controller.default_config with
+        reconfig_downtime = 2.0;
         min_relative_gain = 0.05;
         deploy_mode = mode;
         optimizer = { Pipeleon.Optimizer.default_config with top_k = 1.0 } }

@@ -5,13 +5,15 @@ type config = {
   reconfig_downtime : float;
   min_relative_gain : float;
   deploy_mode : deploy_mode;
+  warm_start : bool;
 }
 
 let default_config =
   { optimizer = Pipeleon.Optimizer.default_config;
     reconfig_downtime = 0.;
     min_relative_gain = 0.03;
-    deploy_mode = Full }
+    deploy_mode = Full;
+    warm_start = true }
 
 type t = {
   cfg : config;
@@ -25,6 +27,9 @@ type t = {
   locality_memory : (string, float) Hashtbl.t;
       (* last believed flow-cache hit rate per original table; decays back
          toward the default so caching is retried after traffic shifts *)
+  warm : Pipeleon.Search.eval_cache;
+      (* candidate evaluations from previous generations, keyed by
+         pipelet signature + bucketed profile (Incremental.pipelet_signature) *)
 }
 
 let create ?(config = default_config) simulator ~original =
@@ -36,7 +41,8 @@ let create ?(config = default_config) simulator ~original =
     baseline = Profile.Counter.create ();
     update_counts = Hashtbl.create 16;
     last_tick = Nicsim.Sim.now simulator;
-    locality_memory = Hashtbl.create 16 }
+    locality_memory = Hashtbl.create 16;
+    warm = Pipeleon.Search.create_cache () }
 
 let sim t = t.simulator
 let original_program t = t.original
@@ -185,9 +191,16 @@ let tick t =
   remember_localities t ~observations ~default:(Profile.default_cache_hit prof_orig);
   let prof_orig = apply_locality_memory t prof_orig in
   let issues = Monitor.assess ~observed:prof_opt t.deployed in
+  let warm =
+    if t.cfg.warm_start then
+      Some
+        { Pipeleon.Optimizer.warm_cache = t.warm;
+          warm_signature = Incremental.pipelet_signature }
+    else None
+  in
   let result =
-    Pipeleon.Optimizer.optimize ~config:t.cfg.optimizer ~generation:(t.gen + 1) target
-      prof_orig t.original
+    Pipeleon.Optimizer.optimize ~config:t.cfg.optimizer ~generation:(t.gen + 1) ?warm
+      target prof_orig t.original
   in
   let latency_original = Costmodel.Cost.expected_latency target prof_orig t.original in
   let latency_new = latency_original -. result.plan.Pipeleon.Search.predicted_gain in

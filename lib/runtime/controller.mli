@@ -22,10 +22,15 @@ type config = {
   min_relative_gain : float;
       (** redeploy only when predicted latency improves by this fraction *)
   deploy_mode : deploy_mode;
+  warm_start : bool;
+      (** carry candidate evaluations across generations; pipelets whose
+          {!Incremental.pipelet_signature} is unchanged skip
+          re-enumeration (the returned plan is gain-identical) *)
 }
 
 val default_config : config
-(** Live reconfiguration, 3% hysteresis, default optimizer settings. *)
+(** Live reconfiguration, 3% hysteresis, default optimizer settings,
+    warm start on. *)
 
 type t
 

@@ -21,4 +21,13 @@ val rebuild_count : change list -> int
 (** Changes that require touching hardware state (everything except
     [Entries_changed], which is ordinary entry-update traffic). *)
 
+val pipelet_signature :
+  Profile.t -> Pipeleon.Hotspot.hot -> P4ir.Table.t list -> string
+(** Key for the optimizer's warm-start cache
+    ({!Pipeleon.Search.eval_cache}): the pipelet's reach probability,
+    the profile's default cache-hit estimate, and per table its name,
+    entry count, shape hash, and profiled stats — all floats bucketed to
+    three significant digits. Two rounds whose signatures match produce
+    identical candidate evaluations, so the cached list is reusable. *)
+
 val pp_change : Format.formatter -> change -> unit

@@ -1,0 +1,9 @@
+let take k xs =
+  if k <= 0 then []
+  else begin
+    let rec go acc k = function
+      | [] -> List.rev acc
+      | x :: rest -> if k = 0 then List.rev acc else go (x :: acc) (k - 1) rest
+    in
+    go [] k xs
+  end

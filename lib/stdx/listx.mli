@@ -1,0 +1,7 @@
+(** List helpers missing from the stdlib. *)
+
+val take : int -> 'a list -> 'a list
+(** [take k xs] is the first [k] elements of [xs] (all of [xs] when it is
+    shorter, [[]] when [k <= 0]). Tail-recursive: safe on lists far
+    longer than the stack, e.g. a full candidate enumeration being cut to
+    [max_combos]. *)

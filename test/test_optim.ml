@@ -218,6 +218,42 @@ let test_candidate_enumeration_two_tables () =
   in
   check_bool "[A,B] cache candidate present" true has_full_cache
 
+let test_enumerate_budget_and_reorder_combos () =
+  let tabs = chain 6 in
+  let prof = Profile.uniform (P4ir.Program.linear "eb" tabs) in
+  let opts = { Pipeleon.Candidate.default_options with max_combos = 40 } in
+  let combos = Pipeleon.Candidate.enumerate ~opts prof tabs in
+  check_bool "within budget" true (List.length combos <= opts.max_combos);
+  check_bool "non-empty" true (combos <> []);
+  (* Per-order budgeting keeps each surviving order's reorder-only combo
+     (the identity order's one is the excluded no-op identity combo). *)
+  let orders =
+    List.sort_uniq compare (List.map (fun (c : Pipeleon.Candidate.combo) -> c.order) combos)
+  in
+  let identity = List.init 6 Fun.id in
+  List.iter
+    (fun order ->
+      let has_plain =
+        List.exists
+          (fun (c : Pipeleon.Candidate.combo) -> c.order = order && c.segs = [])
+          combos
+      in
+      check_bool "reorder-only combo retained" true (has_plain || order = identity))
+    orders;
+  (* And the default budget never overflows either. *)
+  let full = Pipeleon.Candidate.enumerate prof tabs in
+  check_bool "default budget respected" true
+    (List.length full <= Pipeleon.Candidate.default_options.max_combos)
+
+let test_listx_take () =
+  check_bool "prefix" true (Stdx.Listx.take 3 [ 1; 2; 3; 4; 5 ] = [ 1; 2; 3 ]);
+  check_bool "short list" true (Stdx.Listx.take 9 [ 1; 2 ] = [ 1; 2 ]);
+  check_bool "zero" true (Stdx.Listx.take 0 [ 1; 2 ] = []);
+  check_bool "negative" true (Stdx.Listx.take (-3) [ 1; 2 ] = []);
+  (* Tail recursion: must survive a list far beyond the stack. *)
+  let big = List.init 1_000_000 Fun.id in
+  check_int "big prefix" 999_999 (List.length (Stdx.Listx.take 999_999 big))
+
 let test_cache_gain_depends_on_hit_rate () =
   let tabs = chain 4 in
   let prog = P4ir.Program.linear "x" tabs in
@@ -344,6 +380,31 @@ let test_knapsack_zero_cost_exclusive () =
   let sol = Knapsack.solve ~groups ~mem_budget:100 ~upd_budget:10. () in
   check_int "one option per group" 1 (List.length sol.Knapsack.picks);
   check_bool "best zero-cost option" true (Float.abs (sol.Knapsack.total_gain -. 5.) < 1e-9)
+
+let test_knapsack_prune_stats () =
+  let open Pipeleon in
+  let groups =
+    [ [ { Knapsack.gain = 5.; mem = 100; upd = 1.; tag = 0 };
+        (* dominated: less gain, more of both costs *)
+        { Knapsack.gain = 4.; mem = 200; upd = 2.; tag = 1 };
+        (* dropped regardless of pruning: non-positive gain *)
+        { Knapsack.gain = 0.; mem = 0; upd = 0.; tag = 2 } ];
+      [ { Knapsack.gain = 7.; mem = 50; upd = 0.; tag = 0 } ];
+      [] ]
+  in
+  let solve ~prune =
+    Knapsack.solve_stats ~prune ~groups ~mem_budget:500 ~upd_budget:15. ()
+  in
+  let sol_p, stats_p = solve ~prune:true in
+  let sol_u, stats_u = solve ~prune:false in
+  check_int "options before" 4 stats_p.Knapsack.options_before;
+  check_int "options after pruning" 2 stats_p.Knapsack.options_after;
+  check_int "options after (no pruning)" 3 stats_u.Knapsack.options_after;
+  check_bool "gain identical" true
+    (sol_p.Knapsack.total_gain = sol_u.Knapsack.total_gain);
+  check_bool "optimal" true (Float.abs (sol_p.Knapsack.total_gain -. 12.) < 1e-9);
+  check_bool "pruned DP touches fewer cells" true
+    (stats_p.Knapsack.dp_cells < stats_u.Knapsack.dp_cells)
 
 let test_knapsack_greedy_vs_dp () =
   let open Pipeleon in
@@ -638,11 +699,15 @@ let () =
       ( "cost-guided",
         [ Alcotest.test_case "reorder gain" `Quick test_reorder_gain_matches_drop_rates;
           Alcotest.test_case "candidate enumeration" `Quick test_candidate_enumeration_two_tables;
+          Alcotest.test_case "enumerate budget + reorder combos" `Quick
+            test_enumerate_budget_and_reorder_combos;
+          Alcotest.test_case "listx take" `Quick test_listx_take;
           Alcotest.test_case "cache hit-rate monotone" `Quick test_cache_gain_depends_on_hit_rate;
           Alcotest.test_case "analytic matches realized" `Quick test_analytic_matches_realized ] );
       ( "knapsack",
         [ Alcotest.test_case "budget respected" `Quick test_knapsack_budget_respected;
           Alcotest.test_case "zero-cost exclusive" `Quick test_knapsack_zero_cost_exclusive;
+          Alcotest.test_case "prune stats" `Quick test_knapsack_prune_stats;
           Alcotest.test_case "dp >= greedy" `Quick test_knapsack_greedy_vs_dp ] );
       ( "optimizer",
         [ Alcotest.test_case "end-to-end equivalence" `Quick test_optimizer_end_to_end_equivalence;

@@ -271,6 +271,55 @@ let test_optimizer_preserves_semantics =
       P4ir.Program.validate_exn result.Pipeleon.Optimizer.program;
       packets_agree prog result.Pipeleon.Optimizer.program 11L)
 
+let test_parallel_local_equals_sequential =
+  (* The parallel fan-out must be a pure reshuffling of work: identical
+     candidates, identical gains, in pipelet order. Structural equality
+     on [evaluated] compares floats bit-for-bit. *)
+  qtest ~count:20 "parallel local_optimize = sequential" synth_gen (fun (prog, prof) ->
+      let pipelets = Pipeleon.Pipelet.form prog in
+      let hots = Pipeleon.Hotspot.rank target prof prog pipelets in
+      let seq = Pipeleon.Search.local_optimize target prof prog hots in
+      let par = Pipeleon.Search.local_optimize_parallel ~domains:3 target prof prog hots in
+      List.length seq = List.length par
+      && List.for_all2
+           (fun (a : Pipeleon.Search.pipelet_candidates)
+                (b : Pipeleon.Search.pipelet_candidates) ->
+             a.hot.pipelet = b.hot.pipelet && a.evaluated = b.evaluated)
+           seq par)
+
+let test_parallel_optimizer_plan_identical =
+  qtest ~count:10 "use_parallel plan = sequential plan" synth_gen (fun (prog, prof) ->
+      let cfg k = { Pipeleon.Optimizer.default_config with top_k = 1.0; use_parallel = k } in
+      let s = Pipeleon.Optimizer.optimize ~config:(cfg false) target prof prog in
+      let p = Pipeleon.Optimizer.optimize ~config:(cfg true) target prof prog in
+      let gains (r : Pipeleon.Optimizer.result) =
+        ( r.plan.Pipeleon.Search.predicted_gain,
+          List.map
+            (fun ((h : Pipeleon.Hotspot.hot), (e : Pipeleon.Candidate.evaluated)) ->
+              (h.pipelet.Pipeleon.Pipelet.entry, e.combo, e.gain))
+            r.plan.Pipeleon.Search.choices )
+      in
+      gains s = gains p)
+
+let test_warm_start_gain_equal =
+  qtest ~count:10 "warm-start re-optimization is gain-equal" synth_gen
+    (fun (prog, prof) ->
+      let config = { Pipeleon.Optimizer.default_config with top_k = 1.0 } in
+      let cold = Pipeleon.Optimizer.optimize ~config target prof prog in
+      let cache = Pipeleon.Search.create_cache () in
+      let warm =
+        { Pipeleon.Optimizer.warm_cache = cache;
+          warm_signature = Runtime.Incremental.pipelet_signature }
+      in
+      ignore (Pipeleon.Optimizer.optimize ~config ~warm target prof prog);
+      let rewarm = Pipeleon.Optimizer.optimize ~config ~warm target prof prog in
+      let hits, misses = Pipeleon.Search.cache_stats cache in
+      (* Unchanged profile: the second round must be served from cache
+         and produce the same predicted gain as a cold run. *)
+      hits = misses
+      && rewarm.plan.Pipeleon.Search.predicted_gain
+         = cold.plan.Pipeleon.Search.predicted_gain)
+
 let test_serialize_roundtrip_random =
   qtest ~count:50 "serialize round-trip on random programs" synth_gen (fun (prog, _) ->
       let json = P4ir.Serialize.to_string prog in
@@ -371,6 +420,21 @@ let test_knapsack_within_budget =
       in
       one_per_group && budget_ok groups sol.Pipeleon.Knapsack.picks ~mem_budget:500 ~upd_budget:15.)
 
+let test_knapsack_prune_equals_unpruned =
+  (* Dominance pruning only drops options whose DP candidate value is
+     covered by a dominator at every cell, so the optimal total gain is
+     preserved bit-for-bit (float max over a subset containing the
+     argmax). *)
+  qtest ~count:200 "dominance pruning preserves total gain" knapsack_gen (fun groups ->
+      let solve ~prune =
+        Pipeleon.Knapsack.solve_stats ~prune ~groups ~mem_budget:500 ~upd_budget:15. ()
+      in
+      let pruned, stats_p = solve ~prune:true in
+      let unpruned, stats_u = solve ~prune:false in
+      pruned.Pipeleon.Knapsack.total_gain = unpruned.Pipeleon.Knapsack.total_gain
+      && stats_p.Pipeleon.Knapsack.options_after <= stats_u.Pipeleon.Knapsack.options_after
+      && stats_p.Pipeleon.Knapsack.dp_cells <= stats_u.Pipeleon.Knapsack.dp_cells)
+
 let test_knapsack_beats_greedy =
   (* With bucket counts that divide the generated costs exactly, the DP
      is the true optimum and must dominate the greedy heuristic. (Under
@@ -417,10 +481,14 @@ let () =
       ("window-drivers", [ test_window_drivers_identical ]);
       ("costmodel", [ test_node_sum_equals_paths; test_reach_probs_bounded ]);
       ( "optimizer",
-        [ test_optimizer_preserves_semantics; test_serialize_roundtrip_random ] );
+        [ test_optimizer_preserves_semantics; test_parallel_local_equals_sequential;
+          test_parallel_optimizer_plan_identical; test_warm_start_gain_equal;
+          test_serialize_roundtrip_random ] );
       ( "frontends-and-deploys",
         [ test_emit_parse_fixpoint_random; test_hetero_materialize_random;
           test_hot_patch_equals_fresh ] );
-      ("knapsack", [ test_knapsack_within_budget; test_knapsack_beats_greedy ]);
+      ( "knapsack",
+        [ test_knapsack_within_budget; test_knapsack_prune_equals_unpruned;
+          test_knapsack_beats_greedy ] );
       ("lru", [ test_lru_capacity ]);
       ("reorder", [ test_apply_order_is_permutation ]) ]
