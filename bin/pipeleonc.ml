@@ -121,7 +121,14 @@ let optimize_cmd =
         top_k;
         budget = { Costmodel.Resource.memory_bytes = memory; updates_per_sec = updates } }
     in
-    let result = Pipeleon.Optimizer.optimize ~config target prof prog in
+    (* A fresh warm-start cache: one-shot runs always miss, but the
+       describe output then carries the cache line, so the hit rate is
+       visible wherever optimize output is read. *)
+    let warm =
+      { Pipeleon.Optimizer.warm_cache = Pipeleon.Search.create_cache ();
+        warm_signature = Runtime.Incremental.pipelet_signature }
+    in
+    let result = Pipeleon.Optimizer.optimize ~config ~warm target prof prog in
     prerr_string (Pipeleon.Optimizer.describe result);
     (match output with
      | Some out -> write_program out result.Pipeleon.Optimizer.program
@@ -234,6 +241,75 @@ let profile_cmd =
           profile that `optimize -p` consumes.")
     Term.(const run $ program_arg $ target_arg $ trace_arg $ packets_arg $ out_arg)
 
+let telemetry_cmd =
+  let trace_arg =
+    Arg.(required & opt (some file) None
+         & info [ "trace" ] ~docv:"TRACE.csv" ~doc:"Packet trace to replay (Traffic.Trace CSV).")
+  in
+  let packets_arg =
+    Arg.(value & opt int 10_000
+         & info [ "packets" ] ~docv:"N" ~doc:"Packets to simulate per window.")
+  in
+  let windows_arg =
+    Arg.(value & opt int 1 & info [ "windows" ] ~docv:"N" ~doc:"Windows to simulate.")
+  in
+  let format_arg =
+    Arg.(value & opt (enum [ ("json", `Json); ("prometheus", `Prometheus) ]) `Json
+         & info [ "format" ] ~docv:"FORMAT" ~doc:"Metrics exposition: json or prometheus.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"METRICS" ~doc:"Where to write the metrics (default stdout).")
+  in
+  let trace_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"TRACE.json"
+             ~doc:"Record sampled packet walks and write them as chrome://tracing \
+                   (Perfetto) JSON to this file.")
+  in
+  let sample_arg =
+    Arg.(value & opt int 64
+         & info [ "trace-sample" ] ~docv:"N" ~doc:"Trace one packet in every N.")
+  in
+  let write_text path text =
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text)
+  in
+  let run path target trace_path packets windows format output trace_out sample =
+    let prog = read_program path in
+    let trace = Traffic.Trace.load trace_path in
+    let tel =
+      match trace_out with
+      | Some _ -> Telemetry.create ~trace_capacity:65536 ~trace_sample_every:sample ()
+      | None -> Telemetry.create ()
+    in
+    let sim = Nicsim.Sim.create ~telemetry:tel target prog in
+    for _ = 1 to windows do
+      ignore
+        (Nicsim.Sim.run_window sim ~duration:1.0 ~packets
+           ~source:(Traffic.Trace.replay trace))
+    done;
+    let m = Telemetry.metrics tel in
+    let text =
+      match format with
+      | `Json -> P4ir.Json.to_string ~indent:2 (Telemetry.Metrics.to_json m) ^ "\n"
+      | `Prometheus -> Telemetry.Metrics.to_prometheus m
+    in
+    (match output with Some out -> write_text out text | None -> print_string text);
+    match (trace_out, Telemetry.trace tel) with
+    | Some out, Some ring ->
+      Telemetry.Trace.write_file ~process_name:(P4ir.Program.name prog) ring out
+    | _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "telemetry"
+       ~doc:
+         "Replay a trace with the telemetry sink enabled and emit the metrics \
+          registry (counters, gauges, latency histograms) as JSON or Prometheus \
+          text; optionally record sampled packet walks as chrome://tracing JSON.")
+    Term.(const run $ program_arg $ target_arg $ trace_arg $ packets_arg $ windows_arg
+          $ format_arg $ out_arg $ trace_out_arg $ sample_arg)
+
 let graph_cmd =
   let deps_arg =
     Arg.(value & flag
@@ -325,7 +401,13 @@ let fuzz_cmd =
              ~doc:"Run the optimizer's local search across domains (the fast path); \
                    plans must stay identical to the sequential reference.")
   in
-  let run mode seed budget packets out mutant replay parallel target =
+  let telemetry_arg =
+    Arg.(value & flag
+         & info [ "telemetry" ]
+             ~doc:"Attach an enabled telemetry sink (metrics + sampled tracing) to every \
+                   executor under test; any divergence then indicts the instrumentation.")
+  in
+  let run mode seed budget packets out mutant replay parallel telemetry target =
     let mutate =
       Option.map
         (fun name ->
@@ -345,7 +427,7 @@ let fuzz_cmd =
     in
     match replay with
     | Some dir -> (
-      match Fuzz.Driver.replay ?optimizer_config ?mutate ~target mode ~dir with
+      match Fuzz.Driver.replay ?optimizer_config ?mutate ~telemetry ~target mode ~dir with
       | None ->
         print_endline "replay: no divergence";
         exit 0
@@ -359,8 +441,8 @@ let fuzz_cmd =
     | None ->
       let out_dir = if out = "none" then None else Some out in
       let report =
-        Fuzz.Driver.run ?out_dir ?optimizer_config ?mutate ~n_packets:packets ~target mode
-          ~seed ~budget
+        Fuzz.Driver.run ?out_dir ?optimizer_config ?mutate ~n_packets:packets ~telemetry
+          ~target mode ~seed ~budget
       in
       print_string (Fuzz.Driver.summary report);
       if report.Fuzz.Driver.findings <> [] then exit 1
@@ -372,7 +454,7 @@ let fuzz_cmd =
           packet streams; replay them through independent executions; shrink and \
           persist any divergence.")
     Term.(const run $ mode_arg $ seed_arg $ budget_arg $ packets_arg $ out_arg $ mutant_arg
-          $ replay_arg $ parallel_arg $ target_arg)
+          $ replay_arg $ parallel_arg $ telemetry_arg $ target_arg)
 
 let () =
   let info =
@@ -382,5 +464,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ optimize_cmd; cost_cmd; profile_cmd; pipelets_cmd; graph_cmd; translate_cmd;
-            validate_cmd; fuzz_cmd ]))
+          [ optimize_cmd; cost_cmd; profile_cmd; telemetry_cmd; pipelets_cmd; graph_cmd;
+            translate_cmd; validate_cmd; fuzz_cmd ]))

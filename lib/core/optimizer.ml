@@ -27,11 +27,14 @@ type result = {
   plan : Search.plan;
   pipelets_total : int;
   pipelets_considered : int;
+  cache_hits : int;
+  cache_misses : int;
   search_seconds : float;
   elapsed_seconds : float;
 }
 
-let optimize ?(config = default_config) ?(generation = 0) ?warm target prof prog =
+let optimize ?(config = default_config) ?(generation = 0) ?warm ?telemetry target prof
+    prog =
   let t0 = Sys.time () in
   let pipelets = Pipelet.form ~max_len:config.max_pipelet_len prog in
   let hots = Hotspot.rank target prof prog pipelets in
@@ -39,6 +42,9 @@ let optimize ?(config = default_config) ?(generation = 0) ?warm target prof prog
   let name_prefix = Printf.sprintf "__g%d" generation in
   let cache = Option.map (fun w -> w.warm_cache) warm in
   let signature = Option.map (fun w -> w.warm_signature prof) warm in
+  let cache_before =
+    match cache with Some c -> Search.cache_stats c | None -> (0, 0)
+  in
   let candidates =
     if config.use_parallel then
       Search.local_optimize_parallel ~opts:config.candidate_opts ~name_prefix ?cache
@@ -46,6 +52,13 @@ let optimize ?(config = default_config) ?(generation = 0) ?warm target prof prog
     else
       Search.local_optimize ~opts:config.candidate_opts ~name_prefix ?cache ?signature
         target prof prog top
+  in
+  let cache_hits, cache_misses =
+    match cache with
+    | Some c ->
+      let hits, misses = Search.cache_stats c in
+      (hits - fst cache_before, misses - snd cache_before)
+    | None -> (0, 0)
   in
   let headroom_mem =
     max 0 (config.budget.memory_bytes - Costmodel.Resource.program_memory target prog)
@@ -119,10 +132,38 @@ let optimize ?(config = default_config) ?(generation = 0) ?warm target prof prog
       Search.choices = List.rev applied;
       group_choices = List.rev group_applied }
   in
+  (match telemetry with
+   | Some tel when Telemetry.enabled tel ->
+     let m = Telemetry.metrics tel in
+     Telemetry.Metrics.inc (Telemetry.Metrics.counter m "optimizer.runs");
+     Telemetry.Metrics.inc ~by:plan.Search.candidates_examined
+       (Telemetry.Metrics.counter m "optimizer.candidates_examined");
+     Telemetry.Metrics.inc ~by:cache_hits
+       (Telemetry.Metrics.counter m "optimizer.cache.hit");
+     Telemetry.Metrics.inc ~by:cache_misses
+       (Telemetry.Metrics.counter m "optimizer.cache.miss");
+     Telemetry.Metrics.set
+       (Telemetry.Metrics.gauge m "optimizer.predicted_gain")
+       plan.Search.predicted_gain;
+     Telemetry.Histogram.record
+       (Telemetry.Metrics.histogram m "optimizer.search_seconds")
+       t_search;
+     (match plan.Search.solver_stats with
+      | Some (s : Knapsack.stats) ->
+        Telemetry.Metrics.inc ~by:s.options_before
+          (Telemetry.Metrics.counter m "optimizer.knapsack.options_before");
+        Telemetry.Metrics.inc ~by:s.options_after
+          (Telemetry.Metrics.counter m "optimizer.knapsack.options_after");
+        Telemetry.Metrics.inc ~by:s.dp_cells
+          (Telemetry.Metrics.counter m "optimizer.knapsack.dp_cells")
+      | None -> ())
+   | _ -> ());
   { program = optimized;
     plan;
     pipelets_total = List.length pipelets;
     pipelets_considered = List.length top;
+    cache_hits;
+    cache_misses;
     search_seconds = t_search;
     elapsed_seconds = Sys.time () -. t0 }
 
@@ -131,6 +172,18 @@ let describe r =
   Buffer.add_string buf
     (Printf.sprintf "pipelets=%d considered=%d gain=%.3f time=%.3fs\n" r.pipelets_total
        r.pipelets_considered r.plan.Search.predicted_gain r.elapsed_seconds);
+  (match r.plan.Search.solver_stats with
+   | Some (s : Knapsack.stats) ->
+     Buffer.add_string buf
+       (Printf.sprintf "  knapsack: options=%d pruned-to=%d dp-cells=%d\n"
+          s.options_before s.options_after s.dp_cells)
+   | None -> ());
+  if r.cache_hits + r.cache_misses > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "  warm-cache: hits=%d misses=%d (%.0f%% hit rate)\n" r.cache_hits
+         r.cache_misses
+         (100. *. float_of_int r.cache_hits
+         /. float_of_int (r.cache_hits + r.cache_misses)));
   List.iter
     (fun ((hot : Hotspot.hot), (e : Candidate.evaluated)) ->
       let kind_of = function

@@ -31,6 +31,10 @@ type result = {
   plan : Search.plan;
   pipelets_total : int;
   pipelets_considered : int;
+  cache_hits : int;
+      (** warm-start evaluation-cache hits during this round (0 without
+          [warm]) *)
+  cache_misses : int;
   search_seconds : float;
       (** CPU time of the optimization search itself (the paper's Fig. 13
           "computation time") *)
@@ -41,6 +45,7 @@ val optimize :
   ?config:config ->
   ?generation:int ->
   ?warm:warm ->
+  ?telemetry:Telemetry.t ->
   Costmodel.Target.t ->
   Profile.t ->
   P4ir.Program.t ->
@@ -51,7 +56,15 @@ val optimize :
     (tables + bucketed profile) is unchanged since a previous round. The
     input program should carry current table entries (see
     {!Nicsim.Exec.sync_entries_to_ir}) so match-kind [m] values and
-    resource accounting are current. *)
+    resource accounting are current.
+
+    With an enabled [telemetry] sink, each round records counters
+    [optimizer.runs] / [optimizer.candidates_examined] /
+    [optimizer.cache.hit] / [optimizer.cache.miss] /
+    [optimizer.knapsack.options_before] / [.options_after] /
+    [.dp_cells], gauge [optimizer.predicted_gain], and histogram
+    [optimizer.search_seconds]. *)
 
 val describe : result -> string
-(** Human-readable plan summary (one line per choice). *)
+(** Human-readable plan summary (one line per choice), plus knapsack
+    solver stats and — when a warm cache was in play — its hit rate. *)

@@ -23,12 +23,16 @@ val case_rng : seed:int -> int -> Stdx.Prng.t
 val check :
   ?optimizer_config:Pipeleon.Optimizer.config ->
   ?mutate:Mutate.t ->
+  ?telemetry:bool ->
   Costmodel.Target.t ->
   mode ->
   Shrink.case ->
   Oracle.divergence option
 (** One case through the oracle for [mode]. [mutate] only affects
-    [Optim_equiv], where it corrupts the optimized program first. *)
+    [Optim_equiv], where it corrupts the optimized program first.
+    [telemetry] (default [false]) attaches an enabled {!Telemetry} sink
+    to every executor under test, turning each differential check into an
+    observe-only proof for the instrumentation. *)
 
 type finding = {
   case_index : int;
@@ -54,6 +58,7 @@ val run :
   ?optimizer_config:Pipeleon.Optimizer.config ->
   ?mutate:Mutate.t ->
   ?max_shrink_steps:int ->
+  ?telemetry:bool ->
   ?target:Costmodel.Target.t ->
   mode ->
   seed:int ->
@@ -71,6 +76,7 @@ val summary : report -> string
 val replay :
   ?optimizer_config:Pipeleon.Optimizer.config ->
   ?mutate:Mutate.t ->
+  ?telemetry:bool ->
   ?target:Costmodel.Target.t ->
   mode ->
   dir:string ->

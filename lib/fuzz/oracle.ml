@@ -15,6 +15,18 @@ let exec_config target =
     sample_rate = 1;
     placement = Costmodel.Cost.all_asic }
 
+(* With [telemetry], the executor under test carries an enabled sink
+   (metrics plus a sampled trace ring). The differential comparison then
+   doubles as an observe-only proof: any instrumentation that leaks into
+   packet outcomes, engine state, or latencies diverges from the
+   uninstrumented reference interpreter. *)
+let mk_exec ~telemetry target prog =
+  let ex = Nicsim.Exec.create (exec_config target) prog in
+  if telemetry then
+    Nicsim.Exec.set_telemetry ex
+      (Telemetry.create ~trace_capacity:1024 ~trace_sample_every:7 ());
+  ex
+
 (* One packet through a live executor, observed the same way Refsim
    reports: final field values, drop flag, egress, action trace. *)
 let exec_obs ex flow : Refsim.obs =
@@ -42,18 +54,18 @@ let find_diff ?compare_trace pairs =
   in
   go 0 pairs
 
-let sim_diff target prog packets =
+let sim_diff ?(telemetry = false) target prog packets =
   if not (supported prog) then
     invalid_arg "Oracle.sim_diff: program carries optimizer-generated tables";
   guard (fun () ->
-      let ex = Nicsim.Exec.create (exec_config target) prog in
+      let ex = mk_exec ~telemetry target prog in
       find_diff ~compare_trace:true
         (List.map (fun flow -> (Refsim.run prog flow, exec_obs ex flow)) packets))
 
-let replay_diff target prog_a prog_b packets =
+let replay_diff ?(telemetry = false) target prog_a prog_b packets =
   guard (fun () ->
-      let ex_a = Nicsim.Exec.create (exec_config target) prog_a in
-      let ex_b = Nicsim.Exec.create (exec_config target) prog_b in
+      let ex_a = mk_exec ~telemetry target prog_a in
+      let ex_b = mk_exec ~telemetry target prog_b in
       find_diff ~compare_trace:false
         (List.map (fun flow -> (exec_obs ex_a flow, exec_obs ex_b flow)) packets))
 
@@ -109,18 +121,18 @@ let force_ternary_merges prog =
     (fun prog p -> match merge_pair prog p with Some prog' -> prog' | None -> prog)
     prog pipelets
 
-let optim_equiv ?config ?mutate target profile prog packets =
+let optim_equiv ?config ?mutate ?telemetry target profile prog packets =
   guard (fun () ->
       let result = Pipeleon.Optimizer.optimize ?config target profile prog in
       let optimized = force_ternary_merges result.Pipeleon.Optimizer.program in
       match mutate with
-      | None -> replay_diff target prog optimized packets
+      | None -> replay_diff ?telemetry target prog optimized packets
       | Some m -> (
         match m optimized with
         | None -> None (* nothing for this mutation to corrupt *)
-        | Some corrupted -> replay_diff target prog corrupted packets))
+        | Some corrupted -> replay_diff ?telemetry target prog corrupted packets))
 
-let roundtrip target prog packets =
+let roundtrip ?(telemetry = false) target prog packets =
   if not (supported prog) then
     invalid_arg "Oracle.roundtrip: program carries optimizer-generated tables";
   guard (fun () ->
@@ -148,8 +160,8 @@ let roundtrip target prog packets =
                   (fun (n, o) -> if List.mem n conds then ("<branch>", o) else (n, o))
                   obs.Refsim.trace }
           in
-          let ex_json = Nicsim.Exec.create (exec_config target) reloaded in
-          let ex_p4l = Nicsim.Exec.create (exec_config target) reparsed in
+          let ex_json = mk_exec ~telemetry target reloaded in
+          let ex_p4l = mk_exec ~telemetry target reparsed in
           let rec go i = function
             | [] -> None
             | flow :: rest -> (

@@ -13,13 +13,22 @@ val supported : P4ir.Program.t -> bool
     metadata, so programs already rewritten by Pipeleon are compared
     engine-vs-engine ([replay_diff]) instead. *)
 
-val sim_diff : Costmodel.Target.t -> P4ir.Program.t -> Gen.flow list -> divergence option
+val sim_diff :
+  ?telemetry:bool -> Costmodel.Target.t -> P4ir.Program.t -> Gen.flow list -> divergence option
 (** {!Refsim} vs {!Nicsim.Exec} on the same program, comparing final
     field state, drop flag, egress and the per-packet action trace.
+    With [telemetry] (default [false]) the executor under test carries
+    an enabled {!Telemetry} sink with trace sampling, so the comparison
+    also proves the instrumentation is observe-only.
     @raise Invalid_argument if not {!supported}. *)
 
 val replay_diff :
-  Costmodel.Target.t -> P4ir.Program.t -> P4ir.Program.t -> Gen.flow list -> divergence option
+  ?telemetry:bool ->
+  Costmodel.Target.t ->
+  P4ir.Program.t ->
+  P4ir.Program.t ->
+  Gen.flow list ->
+  divergence option
 (** The same packet stream through two programs on {!Nicsim.Exec},
     comparing final observable state (traces necessarily differ across a
     rewrite and are reported, not compared). Both executions are
@@ -29,6 +38,7 @@ val replay_diff :
 val optim_equiv :
   ?config:Pipeleon.Optimizer.config ->
   ?mutate:(P4ir.Program.t -> P4ir.Program.t option) ->
+  ?telemetry:bool ->
   Costmodel.Target.t ->
   Profile.t ->
   P4ir.Program.t ->
@@ -44,7 +54,8 @@ val optim_equiv :
     to corrupt — the check passes vacuously. Optimizer exceptions are
     reported as divergences. *)
 
-val roundtrip : Costmodel.Target.t -> P4ir.Program.t -> Gen.flow list -> divergence option
+val roundtrip :
+  ?telemetry:bool -> Costmodel.Target.t -> P4ir.Program.t -> Gen.flow list -> divergence option
 (** Serialization oracle: JSON print/parse/print stability, P4-lite
     emit/parse/emit fixpoint, and behavioural equality of the reparsed
     program via {!sim_diff}-style comparison against the original. *)

@@ -21,6 +21,20 @@ type pending_fill = {
 
 type trace_event = { node : P4ir.Program.node_id; name : string; outcome : string }
 
+(* Pre-resolved telemetry handles: one hash probe per table node at
+   set_telemetry time, plain field increments per packet after that. *)
+type node_tel = {
+  nt_hit : Telemetry.Metrics.counter;
+  nt_miss : Telemetry.Metrics.counter;
+}
+
+type exec_tel = {
+  et_sink : Telemetry.t;
+  et_packets : Telemetry.Metrics.counter;
+  et_drops : Telemetry.Metrics.counter;
+  et_nodes : (int, node_tel) Hashtbl.t;
+}
+
 type t = {
   cfg : config;
   mutable prog : P4ir.Program.t;
@@ -30,7 +44,34 @@ type t = {
   mutable seen : int;
   mutable drops : int;
   mutable tracer : (trace_event -> unit) option;
+  mutable tel : Telemetry.t;
+  mutable tel_handles : exec_tel option;  (* Some iff [tel] is enabled *)
 }
+
+let node_cat (tab : P4ir.Table.t) =
+  match tab.role with
+  | P4ir.Table.Cache _ -> "cache"
+  | P4ir.Table.Merged _ -> "merged"
+  | _ -> "table"
+
+let build_tel_handles tel prog =
+  if not (Telemetry.enabled tel) then None
+  else begin
+    let m = Telemetry.metrics tel in
+    let nodes = Hashtbl.create 32 in
+    List.iter
+      (fun (id, (tab : P4ir.Table.t)) ->
+        let prefix = Printf.sprintf "nicsim.%s.%s" (node_cat tab) tab.name in
+        Hashtbl.replace nodes id
+          { nt_hit = Telemetry.Metrics.counter m (prefix ^ ".hit");
+            nt_miss = Telemetry.Metrics.counter m (prefix ^ ".miss") })
+      (P4ir.Program.tables prog);
+    Some
+      { et_sink = tel;
+        et_packets = Telemetry.Metrics.counter m "nicsim.packets";
+        et_drops = Telemetry.Metrics.counter m "nicsim.drops";
+        et_nodes = nodes }
+  end
 
 let create cfg prog =
   let engines = Hashtbl.create 32 in
@@ -42,7 +83,7 @@ let create cfg prog =
       Hashtbl.replace node_engine id e)
     (P4ir.Program.tables prog);
   { cfg; prog; engines; node_engine; ctrs = Profile.Counter.create (); seen = 0; drops = 0;
-    tracer = None }
+    tracer = None; tel = Telemetry.null; tel_handles = None }
 
 let program t = t.prog
 let config t = t.cfg
@@ -60,6 +101,12 @@ let drops_seen t = t.drops
 let reset_counters t = Profile.Counter.clear t.ctrs
 
 let set_tracer t hook = t.tracer <- hook
+
+let telemetry t = t.tel
+
+let set_telemetry t tel =
+  t.tel <- tel;
+  t.tel_handles <- build_tel_handles tel t.prog
 
 let trace t node name outcome =
   match t.tracer with
@@ -115,7 +162,7 @@ let entry_core_of t root =
 (* Core of the per-packet walk, with everything derivable once per burst
    ([root], [entry_core]) and once per packet position ([sampled]) hoisted
    out so batch and parallel drivers can amortize or pin them. *)
-let exec_packet t ~sampled ~now ~root ~entry_core pkt =
+let exec_packet t ~sampled ~seq ~now ~root ~entry_core pkt =
   let target = t.cfg.target in
   let bump owner label latency =
     if sampled then begin
@@ -124,6 +171,12 @@ let exec_packet t ~sampled ~now ~root ~entry_core pkt =
     end
     else latency
   in
+  let tel = t.tel_handles in
+  (* Span timestamps live on the modeled axis: window seconds scaled to
+     the viewer's microseconds, latency units inside the packet. *)
+  let tracing = Telemetry.should_trace t.tel ~seq in
+  let tbase = if tracing then now *. 1e6 else 0. in
+  let tspans : Telemetry.Trace.span list ref = ref [] in
   let latency = ref target.l_fixed in
   let fills : pending_fill list ref = ref [] in
   if entry_core = Costmodel.Cost.Cpu then latency := !latency +. target.migration_latency;
@@ -136,6 +189,7 @@ let exec_packet t ~sampled ~now ~root ~entry_core pkt =
       let core = t.cfg.placement id in
       if core <> prev_core then latency := !latency +. target.migration_latency;
       let factor = core_factor target core in
+      let l0 = !latency in
       (match P4ir.Program.find_exn t.prog id with
        | P4ir.Program.Cond c ->
          latency := !latency +. (target.l_cond *. factor);
@@ -151,6 +205,15 @@ let exec_packet t ~sampled ~now ~root ~entry_core pkt =
                 && not (List.mem_assoc c.cond_name fill.fired) then
                fill.fired <- fill.fired @ [ (c.cond_name, outcome) ])
            !fills;
+         if tracing then
+           tspans :=
+             { Telemetry.Trace.name = c.cond_name;
+               cat = "cond";
+               ts = tbase +. l0;
+               dur = !latency -. l0;
+               tid = seq;
+               args = [ ("outcome", outcome) ] }
+             :: !tspans;
          step (if taken then c.on_true else c.on_false) core
        | P4ir.Program.Table (tab, nxt) ->
          let eng = Hashtbl.find t.node_engine id in
@@ -161,6 +224,14 @@ let exec_packet t ~sampled ~now ~root ~entry_core pkt =
          in
          let action = P4ir.Table.find_action_exn tab action_name in
          trace t id tab.name action_name;
+         (match tel with
+          | Some h -> (
+            match Hashtbl.find_opt h.et_nodes id with
+            | Some nt ->
+              Telemetry.Metrics.inc
+                (match result with Some _ -> nt.nt_hit | None -> nt.nt_miss)
+            | None -> ())
+          | None -> ());
          (* Register a pending flow-cache fill on auto-insert cache miss,
             keyed on the packet's current field values. *)
          (match (tab.role, result) with
@@ -188,10 +259,23 @@ let exec_packet t ~sampled ~now ~root ~entry_core pkt =
            !latency
            +. (float_of_int (P4ir.Action.num_primitives action) *. target.l_act *. factor);
          latency := bump tab.name action_name !latency;
+         if tracing then
+           tspans :=
+             { Telemetry.Trace.name = tab.name;
+               cat = node_cat tab;
+               ts = tbase +. l0;
+               dur = !latency -. l0;
+               tid = seq;
+               args =
+                 [ ("action", action_name);
+                   ("result", match result with Some _ -> "hit" | None -> "miss");
+                   ("accesses", string_of_int accesses) ] }
+             :: !tspans;
          if Packet.is_dropped pkt then begin
            (* Run-to-completion halt: the core fetches the next packet. *)
            List.iter (fun f -> f.ended_early <- true) !fills;
-           t.drops <- t.drops + 1
+           t.drops <- t.drops + 1;
+           match tel with Some h -> Telemetry.Metrics.inc h.et_drops | None -> ()
          end
          else begin
            let next =
@@ -207,6 +291,19 @@ let exec_packet t ~sampled ~now ~root ~entry_core pkt =
   in
   step root entry_core;
   List.iter (try_complete_fill ~now) !fills;
+  (match tel with Some h -> Telemetry.Metrics.inc h.et_packets | None -> ());
+  if tracing then begin
+    Telemetry.add_span t.tel
+      { Telemetry.Trace.name = "packet";
+        cat = "packet";
+        ts = tbase;
+        dur = !latency;
+        tid = seq;
+        args =
+          [ ("seq", string_of_int seq);
+            ("dropped", if Packet.is_dropped pkt then "true" else "false") ] };
+    List.iter (Telemetry.add_span t.tel) (List.rev !tspans)
+  end;
   !latency
 
 let sampled_at t seq = t.cfg.instrumented && seq mod t.cfg.sample_rate = 0
@@ -214,13 +311,14 @@ let sampled_at t seq = t.cfg.instrumented && seq mod t.cfg.sample_rate = 0
 let run_packet t ~now pkt =
   t.seen <- t.seen + 1;
   let root = P4ir.Program.root t.prog in
-  exec_packet t ~sampled:(sampled_at t t.seen) ~now ~root ~entry_core:(entry_core_of t root)
-    pkt
+  exec_packet t ~sampled:(sampled_at t t.seen) ~seq:t.seen ~now ~root
+    ~entry_core:(entry_core_of t root) pkt
 
 let run_packet_at t ~seq ~now pkt =
   t.seen <- t.seen + 1;
   let root = P4ir.Program.root t.prog in
-  exec_packet t ~sampled:(sampled_at t seq) ~now ~root ~entry_core:(entry_core_of t root) pkt
+  exec_packet t ~sampled:(sampled_at t seq) ~seq ~now ~root ~entry_core:(entry_core_of t root)
+    pkt
 
 let run_batch t ?(pos = 0) ?n ~now_of ~out pkts =
   let n = match n with Some n -> n | None -> Array.length pkts in
@@ -232,7 +330,8 @@ let run_batch t ?(pos = 0) ?n ~now_of ~out pkts =
     t.seen <- t.seen + 1;
     let pkt = Array.unsafe_get pkts i in
     out.(pos + i) <-
-      exec_packet t ~sampled:(sampled_at t t.seen) ~now:(now_of i) ~root ~entry_core pkt;
+      exec_packet t ~sampled:(sampled_at t t.seen) ~seq:t.seen ~now:(now_of i) ~root
+        ~entry_core pkt;
     if Packet.is_dropped pkt then incr dropped
   done;
   !dropped
@@ -253,18 +352,25 @@ let replicate t =
   Hashtbl.iter (fun name eng -> Hashtbl.replace engines name (copy_of eng)) t.engines;
   let node_engine = Hashtbl.create (Hashtbl.length t.node_engine) in
   Hashtbl.iter (fun id eng -> Hashtbl.replace node_engine id (copy_of eng)) t.node_engine;
+  (* Each replica gets a forked sink (fresh registry, no trace ring) so
+     worker domains never touch the parent's metrics; merge_replica folds
+     the shard registries back losslessly. *)
+  let tel = Telemetry.fork t.tel in
   { t with
     engines;
     node_engine;
     ctrs = Profile.Counter.create ();
     seen = 0;
     drops = 0;
-    tracer = None }
+    tracer = None;
+    tel;
+    tel_handles = build_tel_handles tel t.prog }
 
 let merge_replica t r =
   Profile.Counter.merge_into ~dst:t.ctrs ~src:r.ctrs;
   t.seen <- t.seen + r.seen;
-  t.drops <- t.drops + r.drops
+  t.drops <- t.drops + r.drops;
+  Telemetry.merge_into ~dst:t.tel ~src:r.tel
 
 let replace_program t prog =
   let changed = ref 0 in
@@ -295,6 +401,7 @@ let replace_program t prog =
   Hashtbl.reset t.engines;
   Hashtbl.iter (Hashtbl.replace t.engines) new_engines;
   t.prog <- prog;
+  t.tel_handles <- build_tel_handles t.tel prog;
   !changed
 
 let sync_entries_to_ir t =

@@ -83,6 +83,21 @@ val set_tracer : t -> (trace_event -> unit) option -> unit
     traverses, in execution order — the differential fuzzer's action
     trace. Tracing is off by default and costs nothing when unset. *)
 
+val telemetry : t -> Telemetry.t
+(** The attached sink; {!Telemetry.null} (all no-ops) by default. *)
+
+val set_telemetry : t -> Telemetry.t -> unit
+(** Attach a telemetry sink. With an enabled sink the executor keeps
+    per-table hit/miss counters ([nicsim.table.<name>.hit] /
+    [.miss]; cache- and merged-role tables use [nicsim.cache.*] /
+    [nicsim.merged.*]), total [nicsim.packets] / [nicsim.drops], and —
+    when the sink carries a trace ring — records each sampled packet's
+    walk through the node DAG as spans on the modeled time axis
+    (sampling is keyed on the global sequence number, so every window
+    driver samples identically). Instrumentation only observes: counters
+    and spans never change packet outcomes, engine state, or latencies.
+    Metric handles are resolved here, not per packet. *)
+
 val sync_entries_to_ir : t -> P4ir.Program.t
 (** The program with each table's [entries] replaced by the engine's
     current dynamic contents — what the optimizer should look at. *)

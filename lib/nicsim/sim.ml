@@ -5,21 +5,28 @@ type t = {
   mutable counter_baseline : Profile.Counter.t;
   mutable last_profile_time : float;
   mutable lat_scratch : float array;  (* reused latency buffer, one slot per packet *)
+  lat_hist : Telemetry.Histogram.t;  (* per-window latency histogram, reset in [finish] *)
 }
 
-let create ?config tgt prog =
+let create ?config ?telemetry tgt prog =
   let cfg = match config with Some c -> c | None -> Exec.default_config tgt in
+  let ex = Exec.create cfg prog in
+  (match telemetry with Some tel -> Exec.set_telemetry ex tel | None -> ());
   { tgt;
-    ex = Exec.create cfg prog;
+    ex;
     clock = 0.;
     counter_baseline = Profile.Counter.create ();
     last_profile_time = 0.;
-    lat_scratch = [||] }
+    lat_scratch = [||];
+    lat_hist = Telemetry.Histogram.create () }
 
 let exec t = t.ex
 let target t = t.tgt
 let now t = t.clock
 let advance t dt = t.clock <- t.clock +. Float.max 0. dt
+
+let telemetry t = Exec.telemetry t.ex
+let set_telemetry t tel = Exec.set_telemetry t.ex tel
 
 type window_stats = {
   window_start : float;
@@ -28,6 +35,9 @@ type window_stats = {
   sampled_drops : int;
   avg_latency : float;
   p99_latency : float;
+  p50_latency : float;
+  p90_latency : float;
+  p999_latency : float;
   throughput_gbps : float;
   drop_fraction : float;
 }
@@ -41,24 +51,56 @@ let scratch t packets =
 
 (* Fold a filled latency buffer into stats and advance the clock. The
    summation runs in packet-index order so every window driver
-   (sequential, batched, parallel) produces bit-identical floats. *)
+   (sequential, batched, parallel) produces bit-identical floats; the
+   histogram fill rides the same pass (bucket increments, order-free).
+   avg/p99 keep the original sorted-scratch computation bit for bit; the
+   p50/p90/p99.9 trio is histogram-derived (<= 3.125% high). *)
 let finish t ~start ~duration ~packets ~drops latencies =
   t.clock <- start +. duration;
+  let hist = t.lat_hist in
+  Telemetry.Histogram.clear hist;
   let sum = ref 0. in
   for i = 0 to packets - 1 do
-    sum := !sum +. Array.unsafe_get latencies i
+    let v = Array.unsafe_get latencies i in
+    sum := !sum +. v;
+    Telemetry.Histogram.record hist v
   done;
   let avg = !sum /. float_of_int packets in
   Array.sort Float.compare latencies;
   let p99 = latencies.(min (packets - 1) (packets * 99 / 100)) in
+  let tel = Exec.telemetry t.ex in
+  let throughput = Costmodel.Target.throughput_gbps t.tgt ~latency:avg in
+  let drop_fraction = float_of_int drops /. float_of_int packets in
+  if Telemetry.enabled tel then begin
+    let m = Telemetry.metrics tel in
+    Telemetry.Histogram.merge_into
+      ~dst:(Telemetry.Metrics.histogram m "nicsim.latency") ~src:hist;
+    Telemetry.Metrics.inc (Telemetry.Metrics.counter m "nicsim.windows");
+    Telemetry.Metrics.set (Telemetry.Metrics.gauge m "nicsim.window.throughput_gbps") throughput;
+    Telemetry.Metrics.set (Telemetry.Metrics.gauge m "nicsim.window.avg_latency") avg;
+    Telemetry.Metrics.set (Telemetry.Metrics.gauge m "nicsim.window.drop_fraction") drop_fraction;
+    (* Table occupancy after the window: one gauge per engine. *)
+    List.iter
+      (fun (_, (tab : P4ir.Table.t)) ->
+        match Exec.engine t.ex tab.name with
+        | Some eng ->
+          Telemetry.Metrics.set
+            (Telemetry.Metrics.gauge m ("nicsim.table." ^ tab.name ^ ".entries"))
+            (float_of_int (Engine.num_entries eng))
+        | None -> ())
+      (P4ir.Program.tables (Exec.program t.ex))
+  end;
   { window_start = start;
     window_duration = duration;
     sampled_packets = packets;
     sampled_drops = drops;
     avg_latency = avg;
     p99_latency = p99;
-    throughput_gbps = Costmodel.Target.throughput_gbps t.tgt ~latency:avg;
-    drop_fraction = float_of_int drops /. float_of_int packets }
+    p50_latency = Telemetry.Histogram.quantile hist 0.5;
+    p90_latency = Telemetry.Histogram.quantile hist 0.9;
+    p999_latency = Telemetry.Histogram.quantile hist 0.999;
+    throughput_gbps = throughput;
+    drop_fraction }
 
 let packet_time ~start ~duration ~packets i =
   start +. (duration *. float_of_int i /. float_of_int packets)
@@ -193,6 +235,7 @@ let reconfigure ?config ?(downtime = 0.) t prog =
   let cfg = match config with Some c -> c | None -> Exec.config t.ex in
   let old_ex = t.ex in
   let fresh = Exec.create cfg prog in
+  Exec.set_telemetry fresh (Exec.telemetry old_ex);
   (* Live reconfiguration keeps the dynamic state of surviving tables;
      caches restart cold. *)
   List.iter

@@ -11,8 +11,11 @@
 
 type t
 
-val create : ?config:Exec.config -> Costmodel.Target.t -> P4ir.Program.t -> t
-(** [config] defaults to {!Exec.default_config}. *)
+val create :
+  ?config:Exec.config -> ?telemetry:Telemetry.t -> Costmodel.Target.t -> P4ir.Program.t -> t
+(** [config] defaults to {!Exec.default_config}; [telemetry] (default
+    {!Telemetry.null}) is attached to the executor via
+    {!Exec.set_telemetry}. *)
 
 val exec : t -> Exec.t
 val target : t -> Costmodel.Target.t
@@ -22,13 +25,29 @@ val now : t -> float
 val advance : t -> float -> unit
 (** Move the emulated clock forward without traffic (idle time). *)
 
+val telemetry : t -> Telemetry.t
+val set_telemetry : t -> Telemetry.t -> unit
+(** Attach a sink (see {!Exec.set_telemetry}). On top of the executor's
+    per-table counters and spans, each window records its latency
+    distribution into histogram [nicsim.latency], bumps counter
+    [nicsim.windows], and sets gauges [nicsim.window.throughput_gbps] /
+    [.avg_latency] / [.drop_fraction] and per-table occupancy
+    [nicsim.table.<name>.entries]. Traces are only collected by the
+    sequential and batched window drivers — parallel shards run on
+    {!Telemetry.fork}ed sinks, which carry no trace ring. *)
+
 type window_stats = {
   window_start : float;
   window_duration : float;
   sampled_packets : int;
   sampled_drops : int;
   avg_latency : float;  (** mean per-packet latency in latency units *)
-  p99_latency : float;
+  p99_latency : float;  (** exact, from the sorted sample *)
+  p50_latency : float;
+      (** histogram-derived (log-bucketed, at most 3.125% high); identical
+          across window drivers because the histogram fill is bucketwise *)
+  p90_latency : float;
+  p999_latency : float;
   throughput_gbps : float;  (** sustained, capped at line rate *)
   drop_fraction : float;
 }

@@ -100,6 +100,7 @@ type tick_report = {
   issues : Monitor.issue list;
   profile : Profile.t;
   search_seconds : float;
+  deploy_seconds : float;
 }
 
 (* Observed flow-cache hit rates, per covered original table — but only
@@ -155,21 +156,27 @@ let apply_locality_memory t prof =
       | None -> prof)
     t.locality_memory prof
 
+(* Returns the emulated seconds of service interruption actually charged
+   to the simulator clock: the full [reconfig_downtime] for a reload, the
+   rebuilt fraction of it for an incremental patch. *)
 let deploy t program =
-  (match t.cfg.deploy_mode with
-   | Full ->
-     Nicsim.Sim.reconfigure ~downtime:t.cfg.reconfig_downtime t.simulator program;
-     t.baseline <- Profile.Counter.create ()
-   | Incremental ->
-     (* Interruption proportional to the share of tables rebuilt; the
-        counters and unchanged caches survive the patch. *)
-     let total =
-       max 1 (List.length (P4ir.Program.tables program))
-     in
-     let per_table = t.cfg.reconfig_downtime /. float_of_int total in
-     ignore (Nicsim.Sim.hot_patch ~downtime_per_table:per_table t.simulator program));
+  let charged =
+    match t.cfg.deploy_mode with
+    | Full ->
+      Nicsim.Sim.reconfigure ~downtime:t.cfg.reconfig_downtime t.simulator program;
+      t.baseline <- Profile.Counter.create ();
+      t.cfg.reconfig_downtime
+    | Incremental ->
+      (* Interruption proportional to the share of tables rebuilt; the
+         counters and unchanged caches survive the patch. *)
+      let total = max 1 (List.length (P4ir.Program.tables program)) in
+      let per_table = t.cfg.reconfig_downtime /. float_of_int total in
+      let rebuilt = Nicsim.Sim.hot_patch ~downtime_per_table:per_table t.simulator program in
+      per_table *. float_of_int rebuilt
+  in
   t.deployed <- program;
-  t.gen <- t.gen + 1
+  t.gen <- t.gen + 1;
+  charged
 
 let tick t =
   let now = Nicsim.Sim.now t.simulator in
@@ -198,19 +205,52 @@ let tick t =
           warm_signature = Incremental.pipelet_signature }
     else None
   in
+  let tel = Nicsim.Sim.telemetry t.simulator in
   let result =
     Pipeleon.Optimizer.optimize ~config:t.cfg.optimizer ~generation:(t.gen + 1) ?warm
-      target prof_orig t.original
+      ~telemetry:tel target prof_orig t.original
   in
   let latency_original = Costmodel.Cost.expected_latency target prof_orig t.original in
   let latency_new = latency_original -. result.plan.Pipeleon.Search.predicted_gain in
   let latency_current = Costmodel.Cost.expected_latency target prof_opt t.deployed in
   let worthwhile = latency_new < latency_current *. (1. -. t.cfg.min_relative_gain) in
-  if worthwhile then deploy t result.Pipeleon.Optimizer.program;
+  let deploy_seconds =
+    if worthwhile then deploy t result.Pipeleon.Optimizer.program else 0.
+  in
+  if Telemetry.enabled tel then begin
+    let m = Telemetry.metrics tel in
+    Telemetry.Metrics.inc (Telemetry.Metrics.counter m "runtime.ticks");
+    Telemetry.Metrics.set
+      (Telemetry.Metrics.gauge m "runtime.generation")
+      (float_of_int t.gen);
+    Telemetry.Metrics.set
+      (Telemetry.Metrics.gauge m "runtime.predicted_gain")
+      result.plan.Pipeleon.Search.predicted_gain;
+    Telemetry.Histogram.record
+      (Telemetry.Metrics.histogram m "runtime.search_seconds")
+      result.Pipeleon.Optimizer.elapsed_seconds;
+    if worthwhile then begin
+      Telemetry.Metrics.inc (Telemetry.Metrics.counter m "runtime.redeploys");
+      Telemetry.Metrics.set
+        (Telemetry.Metrics.gauge m "runtime.deploy_seconds")
+        deploy_seconds
+    end;
+    List.iter
+      (fun issue ->
+        let name =
+          match issue with
+          | Monitor.Low_hit_rate _ -> "runtime.issues.low_hit_rate"
+          | Monitor.Merged_blowup _ -> "runtime.issues.merged_blowup"
+          | Monitor.Update_storm _ -> "runtime.issues.update_storm"
+        in
+        Telemetry.Metrics.inc (Telemetry.Metrics.counter m name))
+      issues
+  end;
   { reoptimized = worthwhile;
     predicted_gain = result.plan.Pipeleon.Search.predicted_gain;
     issues;
     profile = prof_orig;
-    search_seconds = result.Pipeleon.Optimizer.elapsed_seconds }
+    search_seconds = result.Pipeleon.Optimizer.elapsed_seconds;
+    deploy_seconds }
 
-let force_redeploy t program = deploy t program
+let force_redeploy t program = ignore (deploy t program)

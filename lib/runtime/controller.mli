@@ -57,11 +57,21 @@ type tick_report = {
   issues : Monitor.issue list;
   profile : Profile.t;  (** the folded-back original-name profile *)
   search_seconds : float;
+  deploy_seconds : float;
+      (** emulated seconds of service interruption actually charged for
+          this tick's redeploy: [reconfig_downtime] for a [Full] reload,
+          [reconfig_downtime x rebuilt/total] for an [Incremental] patch,
+          [0.] when nothing was redeployed *)
 }
 
 val tick : t -> tick_report
 (** One profiling + optimization round over the window since the last
-    tick (or creation). Redeploys through the simulator when warranted. *)
+    tick (or creation). Redeploys through the simulator when warranted.
+    When the simulator carries an enabled telemetry sink, each tick also
+    records counter [runtime.ticks], gauges [runtime.generation] /
+    [runtime.predicted_gain] / [runtime.deploy_seconds], histogram
+    [runtime.search_seconds], counter [runtime.redeploys], and one
+    counter per monitor issue kind ([runtime.issues.<kind>]). *)
 
 val force_redeploy : t -> P4ir.Program.t -> unit
 (** Deploy a specific layout (testing / manual override). *)

@@ -1,0 +1,62 @@
+(** The telemetry subsystem: a metrics registry ({!Metrics}), HDR-style
+    latency histograms ({!Histogram}), and sampled span tracing
+    ({!Trace}) behind one sink handed to the components being observed.
+
+    The sink is disabled by default: {!null} carries [enabled = false]
+    and every instrumentation site guards on {!enabled} first, so an
+    uninstrumented run pays one load-and-branch per guard — measured at
+    under 2% on the nicsim window benchmarks ([bench/main.exe perf],
+    row [telemetry/disabled-overhead]).
+
+    For sharded execution (OCaml 5 domains), give each worker a
+    {!fork}ed sink and {!merge_into} the parent after joining: counters
+    and histogram buckets combine losslessly. Traces are only collected
+    on the sink that owns the ring buffer (forks do not trace). *)
+
+module Histogram = Histogram
+module Metrics = Metrics
+module Trace = Trace
+
+type t
+
+val null : t
+(** The disabled sink: {!enabled} is false, every record is a no-op, and
+    nothing is ever allocated per event. *)
+
+val create :
+  ?metrics:Metrics.t ->
+  ?trace_capacity:int ->
+  ?trace_sample_every:int ->
+  unit ->
+  t
+(** An enabled sink. [metrics] defaults to a fresh registry (pass
+    {!Metrics.default} to share the process-wide one). [trace_capacity]
+    enables span tracing into a ring of that many spans;
+    [trace_sample_every] (default 64) traces one packet in that many.
+    Without [trace_capacity] the sink collects metrics only.
+    @raise Invalid_argument if [trace_sample_every <= 0]. *)
+
+val enabled : t -> bool
+val metrics : t -> Metrics.t
+
+val trace : t -> Trace.t option
+(** The span ring, when tracing is on. *)
+
+val trace_sample_every : t -> int
+
+val should_trace : t -> seq:int -> bool
+(** Whether the packet with global sequence number [seq] is sampled for
+    tracing: enabled, tracing on, and [seq mod trace_sample_every = 0].
+    Keyed on the global sequence number so batched and sharded window
+    drivers sample the same packets as the sequential one. *)
+
+val add_span : t -> Trace.span -> unit
+(** No-op when tracing is off. *)
+
+val fork : t -> t
+(** A domain-local shard of this sink: same enablement and sampling
+    cadence, a fresh registry, no trace ring. {!null} forks to {!null}. *)
+
+val merge_into : dst:t -> src:t -> unit
+(** Fold a fork's registry back ({!Metrics.merge_into}); a no-op when
+    either side is disabled. *)

@@ -70,6 +70,8 @@ stripped), the program to stdout or -o:
 
   $ $PIPELEONC optimize $FW -k 1.0 -o opt.p4l 2>&1 | sed 's/ time=[0-9.]*s$//'
   pipelets=3 considered=3 gain=1.630
+    knapsack: options=13 pruned-to=3 dp-cells=127
+    warm-cache: hits=0 misses=3 (0% hit rate)
     pipelet@5: gain=1.194 mem=+49152 upd=+1000.0 cache[0..1]
     pipelet@2: gain=0.186 mem=+57344 upd=+1000.0 cache[0..1]
     pipelet@0: gain=0.250 mem=+53248 upd=+1000.0 cache[0..0]

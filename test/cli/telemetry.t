@@ -1,0 +1,95 @@
+The telemetry subcommand replays a workload with the metrics/tracing
+sink enabled and dumps the registry. Everything below is deterministic:
+the simulator runs on modeled time.
+
+  $ PIPELEONC=../../bin/pipeleonc.exe
+  $ FW=../../examples/firewall.p4l
+  $ cat > trace.csv <<'CSV'
+  > ipv4.src,ipv4.dst,tcp.dport
+  > 3405803783,3325256704,80
+  > 167772161,3325256704,443
+  > 3405803783,16909060,22
+  > 3405803783,3325256704,8080
+  > CSV
+
+Metrics registry as JSON (counters, window gauges, the latency
+histogram with its log-bucketed quantiles):
+
+  $ $PIPELEONC telemetry $FW --trace trace.csv --packets 8 --windows 2
+  {
+    "counters": {
+      "nicsim.drops": 4,
+      "nicsim.packets": 16,
+      "nicsim.table.bogon_filter.hit": 4,
+      "nicsim.table.bogon_filter.miss": 12,
+      "nicsim.table.dpi_acl.hit": 0,
+      "nicsim.table.dpi_acl.miss": 0,
+      "nicsim.table.routing.hit": 12,
+      "nicsim.table.routing.miss": 0,
+      "nicsim.table.service_acl.hit": 0,
+      "nicsim.table.service_acl.miss": 0,
+      "nicsim.table.trusted_peers.hit": 12,
+      "nicsim.table.trusted_peers.miss": 0,
+      "nicsim.windows": 2
+    },
+    "gauges": {
+      "nicsim.table.bogon_filter.entries": 3.0,
+      "nicsim.table.dpi_acl.entries": 2.0,
+      "nicsim.table.routing.entries": 2.0,
+      "nicsim.table.service_acl.entries": 3.0,
+      "nicsim.table.trusted_peers.entries": 2.0,
+      "nicsim.window.avg_latency": 14.232750000000001,
+      "nicsim.window.drop_fraction": 0.25,
+      "nicsim.window.throughput_gbps": 100.0
+    },
+    "histograms": {
+      "nicsim.latency": {
+        "count": 16,
+        "sum": 227.72400000000002,
+        "mean": 14.232750000000001,
+        "min": 12.137,
+        "max": 15.598000000000003,
+        "p50": 14.75,
+        "p90": 15.598000000000003,
+        "p99": 15.598000000000003,
+        "p999": 15.598000000000003
+      }
+    }
+  }
+
+Prometheus exposition of the same run (names sanitized, histograms as
+summaries):
+
+  $ $PIPELEONC telemetry $FW --trace trace.csv --packets 8 --format prometheus | grep -A 4 '^# TYPE nicsim_latency summary'
+  # TYPE nicsim_latency summary
+  nicsim_latency{quantile="0.5"} 14.75
+  nicsim_latency{quantile="0.9"} 15.598
+  nicsim_latency{quantile="0.99"} 15.598
+  nicsim_latency{quantile="0.999"} 15.598
+
+Chrome-trace export: every sampled packet becomes one packet span plus
+its per-node spans, all complete ("X") events.
+
+  $ $PIPELEONC telemetry $FW --trace trace.csv --packets 64 --trace-sample 8 -o metrics.json --trace-out spans.json
+  $ grep -c '"ph": "X"' spans.json
+  40
+
+The cache-hit short-circuit is visible in a trace of the optimized
+program: profile a skewed workload, optimize, and replay — the
+optimizer's flow caches produce "cache" spans with hit results, which
+the unoptimized program cannot have. (The optimized program is kept in
+the JSON IR: P4-lite has no cache-table syntax, so roles only survive
+that form.)
+
+  $ $PIPELEONC profile $FW --trace trace.csv --packets 2000 -o prof.json > /dev/null
+  simulated 2000 packets: latency 14.23, throughput 100.0 Gbps, drops 25.0%
+  $ $PIPELEONC optimize $FW -k 1.0 -p prof.json -o opt.json 2> /dev/null
+  $ $PIPELEONC telemetry opt.json --trace trace.csv --packets 2000 --trace-sample 16 -o /dev/null --trace-out opt-spans.json
+  $ grep -c '"cat": "cache"' opt-spans.json > /dev/null && echo optimized trace has cache spans
+  optimized trace has cache spans
+  $ grep -A 10 '"cat": "cache"' opt-spans.json | grep -q '"result": "hit"' && echo and cache hits short-circuit
+  and cache hits short-circuit
+  $ $PIPELEONC telemetry $FW --trace trace.csv --packets 2000 --trace-sample 16 -o /dev/null --trace-out fw-spans.json
+  $ grep -c '"cat": "cache"' fw-spans.json
+  0
+  [1]

@@ -224,6 +224,83 @@ let test_incremental_deploy_cheaper () =
   (* Identical program: nothing rebuilt, no downtime at all. *)
   Alcotest.(check (float 1e-6)) "incremental pays nothing for a no-op" 0.0 incr
 
+let drop_shift_controller ?(deploy_mode = Runtime.Controller.Full) ?(telemetry = Telemetry.null)
+    ~reconfig_downtime () =
+  let acl =
+    P4ir.Table.add_entry
+      (P4ir.Builder.acl_table ~name:"acl" ~keys:[ P4ir.Builder.exact_key P4ir.Field.Udp_dport ] ())
+      (P4ir.Table.entry [ P4ir.Pattern.Exact 666L ] "deny")
+  in
+  let prog =
+    P4ir.Program.linear "rt3"
+      ((List.mapi (fun i f -> mk_table (Printf.sprintf "t%d" i) f) fields) @ [ acl ])
+  in
+  let sim = Nicsim.Sim.create ~telemetry target prog in
+  let config =
+    { Runtime.Controller.default_config with
+      min_relative_gain = 0.01;
+      reconfig_downtime;
+      deploy_mode;
+      optimizer = { Pipeleon.Optimizer.default_config with top_k = 1.0 } }
+  in
+  let ctl = Runtime.Controller.create ~config sim ~original:prog in
+  let rng = Stdx.Prng.create 4L in
+  let src =
+    Traffic.Workload.mark_fraction rng ~rate:0.7 ~field:P4ir.Field.Udp_dport ~value:666L
+      (source rng)
+  in
+  (sim, ctl, src)
+
+let test_tick_reports_deploy_seconds () =
+  (* Full deploy charges the whole reconfiguration downtime; Incremental
+     charges only per rebuilt table, and a tick that does not redeploy
+     charges nothing. tick_report.deploy_seconds must equal what the
+     simulated clock actually lost. *)
+  let run mode =
+    let sim, ctl, src = drop_shift_controller ~deploy_mode:mode ~reconfig_downtime:2.5 () in
+    ignore (Nicsim.Sim.run_window sim ~duration:5.0 ~packets:2000 ~source:src);
+    let before = Nicsim.Sim.now sim in
+    let report = Runtime.Controller.tick ctl in
+    check_bool "reoptimized" true report.Runtime.Controller.reoptimized;
+    Alcotest.(check (float 1e-9)) "deploy_seconds matches clock"
+      (Nicsim.Sim.now sim -. before) report.Runtime.Controller.deploy_seconds;
+    report.Runtime.Controller.deploy_seconds
+  in
+  let full = run Runtime.Controller.Full in
+  let incr = run Runtime.Controller.Incremental in
+  Alcotest.(check (float 1e-9)) "full pays the whole downtime" 2.5 full;
+  check_bool "incremental pays a strict fraction" true (incr < full);
+  (* A quiet tick (no traffic since the redeploy) does not redeploy again
+     and charges nothing. *)
+  let sim, ctl, src = drop_shift_controller ~reconfig_downtime:2.5 () in
+  ignore (Nicsim.Sim.run_window sim ~duration:5.0 ~packets:2000 ~source:src);
+  ignore (Runtime.Controller.tick ctl);
+  let quiet = Runtime.Controller.tick ctl in
+  check_bool "quiet tick does not redeploy" false quiet.Runtime.Controller.reoptimized;
+  Alcotest.(check (float 1e-9)) "quiet tick is free" 0.0
+    quiet.Runtime.Controller.deploy_seconds
+
+let test_tick_records_runtime_metrics () =
+  (* With a telemetry sink on the simulator, tick feeds the runtime.*
+     metrics: tick/redeploy counters and the generation gauge. *)
+  let tel = Telemetry.create () in
+  let sim, ctl, src = drop_shift_controller ~telemetry:tel ~reconfig_downtime:0.5 () in
+  ignore (Nicsim.Sim.run_window sim ~duration:5.0 ~packets:2000 ~source:src);
+  let report = Runtime.Controller.tick ctl in
+  check_bool "reoptimized" true report.Runtime.Controller.reoptimized;
+  let m = Telemetry.metrics tel in
+  check_bool "ticks counted" true
+    (Telemetry.Metrics.find_counter m "runtime.ticks" = Some 1);
+  check_bool "redeploys counted" true
+    (Telemetry.Metrics.find_counter m "runtime.redeploys" = Some 1);
+  check_bool "generation gauge" true
+    (Telemetry.Metrics.find_gauge m "runtime.generation" = Some 1.);
+  check_bool "deploy cost gauge" true
+    (Telemetry.Metrics.find_gauge m "runtime.deploy_seconds"
+    = Some report.Runtime.Controller.deploy_seconds);
+  check_bool "optimizer ran under the same sink" true
+    (Telemetry.Metrics.find_counter m "optimizer.runs" = Some 1)
+
 let () =
   Alcotest.run "runtime"
     [ ( "api-mapping",
@@ -234,7 +311,9 @@ let () =
         [ Alcotest.test_case "tick profile" `Quick test_tick_produces_profile;
           Alcotest.test_case "redeploy on drop shift" `Quick test_redeploy_after_drop_shift;
           Alcotest.test_case "entries survive redeploy" `Quick test_insert_survives_redeploy;
-          Alcotest.test_case "downtime" `Quick test_downtime_advances_clock ] );
+          Alcotest.test_case "downtime" `Quick test_downtime_advances_clock;
+          Alcotest.test_case "deploy seconds reported" `Quick test_tick_reports_deploy_seconds;
+          Alcotest.test_case "runtime metrics" `Quick test_tick_records_runtime_metrics ] );
       ( "monitors",
         [ Alcotest.test_case "low hit rate" `Quick test_monitor_low_hit_rate;
           Alcotest.test_case "update storm" `Quick test_monitor_update_storm ] );
