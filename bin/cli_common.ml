@@ -1,0 +1,146 @@
+open Cmdliner
+
+(* Programs load from the JSON IR or from P4-lite source, by extension.
+   Frontend diagnostics become clean one-line errors, not backtraces. *)
+let read_program path =
+  try
+    if Filename.check_suffix path ".p4l" then P4lite.Lower.load_file path
+    else P4ir.Serialize.load path
+  with
+  | P4lite.Lower.Error msg | P4lite.Parser.Error msg | Failure msg | Invalid_argument msg
+    ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 1
+  | P4lite.Lexer.Error { line; col; msg } ->
+    Printf.eprintf "error: %s\n" (P4lite.Lexer.error_message ~line ~col msg);
+    exit 1
+
+let write_text path text =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text)
+
+let write_program path prog =
+  write_text path
+    (if Filename.check_suffix path ".p4l" then P4lite.Emit.emit prog
+     else P4ir.Serialize.to_string prog)
+
+let target_of_name = function
+  | "bluefield2" | "bf2" -> Ok Costmodel.Target.bluefield2
+  | "agilio" | "agilio_cx" -> Ok Costmodel.Target.agilio_cx
+  | "emulated" | "emulated_nic" | "bmv2" -> Ok Costmodel.Target.emulated_nic
+  | s -> Error (`Msg ("unknown target: " ^ s ^ " (bluefield2|agilio|emulated)"))
+
+let target_conv = Arg.conv (target_of_name, fun fmt t -> Costmodel.Target.pp fmt t)
+
+let target_arg =
+  Arg.(value & opt target_conv Costmodel.Target.bluefield2
+       & info [ "t"; "target" ] ~docv:"TARGET" ~doc:"Target NIC model.")
+
+let program_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"PROGRAM.json")
+
+(* Profiles are provided as a small JSON file:
+   {"tables": {"name": {"actions": {"a": 0.7, ...}, "update_rate": 1.0,
+   "locality": 0.9}}, "conds": {"c": 0.3}} *)
+let profile_of_json prog json =
+  let open P4ir.Json in
+  let prof = ref (Profile.uniform prog) in
+  (match member_opt "tables" json with
+   | Some (Obj tables) ->
+     List.iter
+       (fun (name, tj) ->
+         let actions =
+           match member_opt "actions" tj with
+           | Some (Obj actions) -> List.map (fun (a, p) -> (a, get_float p)) actions
+           | _ -> []
+         in
+         let update_rate =
+           match member_opt "update_rate" tj with Some v -> get_float v | None -> 0.
+         in
+         let locality =
+           match member_opt "locality" tj with Some v -> get_float v | None -> -1.
+         in
+         prof :=
+           Profile.set_table name
+             { Profile.action_probs = actions; update_rate; locality }
+             !prof)
+       tables
+   | _ -> ());
+  (match member_opt "conds" json with
+   | Some (Obj conds) ->
+     List.iter
+       (fun (name, p) ->
+         prof := Profile.set_cond name { Profile.true_prob = P4ir.Json.get_float p } !prof)
+       conds
+   | _ -> ());
+  !prof
+
+let load_profile prog = function
+  | None -> Profile.uniform prog
+  | Some path ->
+    let ic = open_in path in
+    let content =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    profile_of_json prog (P4ir.Json.of_string_exn content)
+
+let profile_to_json prog prof =
+  let open P4ir.Json in
+  let tables =
+    List.map
+      (fun (_, (tab : P4ir.Table.t)) ->
+        let actions =
+          List.map
+            (fun (a : P4ir.Action.t) ->
+              (a.name, Float (Profile.action_prob prof ~table:tab ~action:a.name)))
+            tab.actions
+        in
+        let fields =
+          [ ("actions", Obj actions);
+            ("update_rate", Float (Profile.update_rate prof ~table_name:tab.name)) ]
+        in
+        let fields =
+          match Profile.locality prof ~table_name:tab.name with
+          | Some l -> fields @ [ ("locality", Float l) ]
+          | None -> fields
+        in
+        (tab.name, Obj fields))
+      (P4ir.Program.tables prog)
+  in
+  let conds =
+    List.map
+      (fun (_, (c : P4ir.Program.cond)) ->
+        (c.cond_name, Float (Profile.true_prob prof ~cond_name:c.cond_name)))
+      (P4ir.Program.conds prog)
+  in
+  Obj [ ("tables", Obj tables); ("conds", Obj conds) ]
+
+let profile_arg =
+  Arg.(value & opt (some file) None
+       & info [ "p"; "profile" ] ~docv:"PROFILE.json" ~doc:"Runtime profile.")
+
+let memory_arg =
+  Arg.(value & opt int Costmodel.Resource.default_budget.Costmodel.Resource.memory_bytes
+       & info [ "memory" ] ~docv:"BYTES" ~doc:"Memory budget.")
+
+let updates_arg =
+  Arg.(value & opt float Costmodel.Resource.default_budget.Costmodel.Resource.updates_per_sec
+       & info [ "updates" ] ~docv:"RATE" ~doc:"Entry-update budget (per second).")
+
+let budget_of ~memory ~updates =
+  { Costmodel.Resource.memory_bytes = memory; updates_per_sec = updates }
+
+let telemetry_flag =
+  Arg.(value & flag
+       & info [ "telemetry" ]
+           ~doc:"Attach an enabled telemetry sink (metrics + sampled tracing) to every \
+                 executor under test; any divergence then indicts the instrumentation.")
+
+let make_sink ?(trace_out = None) ?(sample = 64) ~enabled () =
+  if not enabled then Telemetry.null
+  else
+    match trace_out with
+    | Some _ -> Telemetry.create ~trace_capacity:65536 ~trace_sample_every:sample ()
+    | None -> Telemetry.create ()

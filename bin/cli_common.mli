@@ -1,0 +1,64 @@
+(** Shared plumbing for every [pipeleonc] subcommand: program and
+    profile I/O, target selection, telemetry sink construction, and the
+    resource-budget flags — defined once so optimize / cost / profile /
+    telemetry / fuzz / chaos all parse and load things identically. *)
+
+open Cmdliner
+
+(** {1 Program I/O} *)
+
+val read_program : string -> P4ir.Program.t
+(** Load the JSON IR or P4-lite source ([.p4l]), by extension. Frontend
+    diagnostics become clean one-line errors on stderr and [exit 1]. *)
+
+val write_program : string -> P4ir.Program.t -> unit
+(** Write JSON IR or P4-lite source, by extension. *)
+
+val write_text : string -> string -> unit
+
+(** {1 Targets} *)
+
+val target_of_name : string -> (Costmodel.Target.t, [ `Msg of string ]) result
+(** ["bluefield2"]/["bf2"], ["agilio"]/["agilio_cx"],
+    ["emulated"]/["emulated_nic"]/["bmv2"]. *)
+
+val target_conv : Costmodel.Target.t Arg.conv
+val target_arg : Costmodel.Target.t Term.t
+(** [-t]/[--target], default BlueField-2. *)
+
+val program_arg : string Term.t
+(** Required positional [PROGRAM.json]. *)
+
+(** {1 Profiles} *)
+
+val profile_of_json : P4ir.Program.t -> P4ir.Json.t -> Profile.t
+(** Overlay a profile JSON ({["tables"]} / {["conds"]}) on
+    {!Profile.uniform}. *)
+
+val load_profile : P4ir.Program.t -> string option -> Profile.t
+(** [None] gives the uniform profile. *)
+
+val profile_to_json : P4ir.Program.t -> Profile.t -> P4ir.Json.t
+
+val profile_arg : string option Term.t
+(** [-p]/[--profile]. *)
+
+(** {1 Resource budget} *)
+
+val memory_arg : int Term.t
+(** [--memory BYTES], default {!Costmodel.Resource.default_budget}. *)
+
+val updates_arg : float Term.t
+(** [--updates RATE], default {!Costmodel.Resource.default_budget}. *)
+
+val budget_of : memory:int -> updates:float -> Costmodel.Resource.budget
+
+(** {1 Telemetry} *)
+
+val telemetry_flag : bool Term.t
+(** [--telemetry]: attach an enabled sink to the executors under test. *)
+
+val make_sink : ?trace_out:string option -> ?sample:int -> enabled:bool -> unit -> Telemetry.t
+(** {!Telemetry.null} when not [enabled]; otherwise an enabled sink,
+    with a trace ring sized for offline dumps when [trace_out] is
+    given ([sample] defaults to 64). *)

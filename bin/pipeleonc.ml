@@ -3,98 +3,14 @@
    Reads a program in the JSON intermediate format (what a P4 compiler
    front-end would emit), optionally a profile, optimizes, and writes the
    rewritten JSON — the source-to-source flow of §5.1. Also exposes
-   inspection subcommands (pipelets, cost estimation, validation). *)
+   inspection subcommands (pipelets, cost estimation, validation) and the
+   differential fuzzer, including the self-healing-runtime chaos mode.
+
+   Everything shared across subcommands — program/profile loading, target
+   selection, budget flags, telemetry sinks — lives in Cli_common. *)
 
 open Cmdliner
-
-(* Programs load from the JSON IR or from P4-lite source, by extension.
-   Frontend diagnostics become clean one-line errors, not backtraces. *)
-let read_program path =
-  try
-    if Filename.check_suffix path ".p4l" then P4lite.Lower.load_file path
-    else P4ir.Serialize.load path
-  with
-  | P4lite.Lower.Error msg | P4lite.Parser.Error msg | Failure msg | Invalid_argument msg
-    ->
-    Printf.eprintf "error: %s\n" msg;
-    exit 1
-  | P4lite.Lexer.Error { line; col; msg } ->
-    Printf.eprintf "error: %s\n" (P4lite.Lexer.error_message ~line ~col msg);
-    exit 1
-
-let write_program path prog =
-  let text =
-    if Filename.check_suffix path ".p4l" then P4lite.Emit.emit prog
-    else P4ir.Serialize.to_string prog
-  in
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text)
-
-let target_of_name = function
-  | "bluefield2" | "bf2" -> Ok Costmodel.Target.bluefield2
-  | "agilio" | "agilio_cx" -> Ok Costmodel.Target.agilio_cx
-  | "emulated" | "emulated_nic" | "bmv2" -> Ok Costmodel.Target.emulated_nic
-  | s -> Error (`Msg ("unknown target: " ^ s ^ " (bluefield2|agilio|emulated)"))
-
-let target_conv = Arg.conv (target_of_name, fun fmt t -> Costmodel.Target.pp fmt t)
-
-let program_arg =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"PROGRAM.json")
-
-let target_arg =
-  Arg.(value & opt target_conv Costmodel.Target.bluefield2
-       & info [ "t"; "target" ] ~docv:"TARGET" ~doc:"Target NIC model.")
-
-(* Profiles are provided as a small JSON file:
-   {"tables": {"name": {"actions": {"a": 0.7, ...}, "update_rate": 1.0,
-   "locality": 0.9}}, "conds": {"c": 0.3}} *)
-let profile_of_json prog json =
-  let open P4ir.Json in
-  let prof = ref (Profile.uniform prog) in
-  (match member_opt "tables" json with
-   | Some (Obj tables) ->
-     List.iter
-       (fun (name, tj) ->
-         let actions =
-           match member_opt "actions" tj with
-           | Some (Obj actions) -> List.map (fun (a, p) -> (a, get_float p)) actions
-           | _ -> []
-         in
-         let update_rate =
-           match member_opt "update_rate" tj with Some v -> get_float v | None -> 0.
-         in
-         let locality =
-           match member_opt "locality" tj with Some v -> get_float v | None -> -1.
-         in
-         prof :=
-           Profile.set_table name
-             { Profile.action_probs = actions; update_rate; locality }
-             !prof)
-       tables
-   | _ -> ());
-  (match member_opt "conds" json with
-   | Some (Obj conds) ->
-     List.iter
-       (fun (name, p) ->
-         prof := Profile.set_cond name { Profile.true_prob = P4ir.Json.get_float p } !prof)
-       conds
-   | _ -> ());
-  !prof
-
-let load_profile prog = function
-  | None -> Profile.uniform prog
-  | Some path ->
-    let ic = open_in path in
-    let content =
-      Fun.protect
-        ~finally:(fun () -> close_in ic)
-        (fun () -> really_input_string ic (in_channel_length ic))
-    in
-    profile_of_json prog (P4ir.Json.of_string_exn content)
-
-let profile_arg =
-  Arg.(value & opt (some file) None
-       & info [ "p"; "profile" ] ~docv:"PROFILE.json" ~doc:"Runtime profile.")
+open Cli_common
 
 let optimize_cmd =
   let output_arg =
@@ -105,21 +21,13 @@ let optimize_cmd =
     Arg.(value & opt float 0.2
          & info [ "k"; "top-k" ] ~docv:"FRACTION" ~doc:"Fraction of pipelets to optimize.")
   in
-  let mem_arg =
-    Arg.(value & opt int Costmodel.Resource.default_budget.Costmodel.Resource.memory_bytes
-         & info [ "memory" ] ~docv:"BYTES" ~doc:"Memory budget.")
-  in
-  let upd_arg =
-    Arg.(value & opt float Costmodel.Resource.default_budget.Costmodel.Resource.updates_per_sec
-         & info [ "updates" ] ~docv:"RATE" ~doc:"Entry-update budget (per second).")
-  in
   let run path target profile_path top_k memory updates output =
     let prog = read_program path in
     let prof = load_profile prog profile_path in
     let config =
       { Pipeleon.Optimizer.default_config with
         top_k;
-        budget = { Costmodel.Resource.memory_bytes = memory; updates_per_sec = updates } }
+        budget = budget_of ~memory ~updates }
     in
     (* A fresh warm-start cache: one-shot runs always miss, but the
        describe output then carries the cache line, so the hit rate is
@@ -139,8 +47,8 @@ let optimize_cmd =
        ~doc:
          "Optimize a program for a SmartNIC target. Input and output may be \
           the JSON IR (.json) or P4-lite source (.p4l).")
-    Term.(const run $ program_arg $ target_arg $ profile_arg $ top_k_arg $ mem_arg
-          $ upd_arg $ output_arg)
+    Term.(const run $ program_arg $ target_arg $ profile_arg $ top_k_arg $ memory_arg
+          $ updates_arg $ output_arg)
 
 let cost_cmd =
   let run path target profile_path =
@@ -172,37 +80,6 @@ let pipelets_cmd =
     (Cmd.info "pipelets" ~doc:"Show pipelets ranked by hotspot cost.")
     Term.(const run $ program_arg $ target_arg $ profile_arg)
 
-let profile_to_json prog prof =
-  let open P4ir.Json in
-  let tables =
-    List.map
-      (fun (_, (tab : P4ir.Table.t)) ->
-        let actions =
-          List.map
-            (fun (a : P4ir.Action.t) ->
-              (a.name, Float (Profile.action_prob prof ~table:tab ~action:a.name)))
-            tab.actions
-        in
-        let fields =
-          [ ("actions", Obj actions);
-            ("update_rate", Float (Profile.update_rate prof ~table_name:tab.name)) ]
-        in
-        let fields =
-          match Profile.locality prof ~table_name:tab.name with
-          | Some l -> fields @ [ ("locality", Float l) ]
-          | None -> fields
-        in
-        (tab.name, Obj fields))
-      (P4ir.Program.tables prog)
-  in
-  let conds =
-    List.map
-      (fun (_, (c : P4ir.Program.cond)) ->
-        (c.cond_name, Float (Profile.true_prob prof ~cond_name:c.cond_name)))
-      (P4ir.Program.conds prog)
-  in
-  Obj [ ("tables", Obj tables); ("conds", Obj conds) ]
-
 let profile_cmd =
   let trace_arg =
     Arg.(required & opt (some file) None
@@ -229,9 +106,7 @@ let profile_cmd =
     let prof = Nicsim.Sim.current_profile sim in
     let json = P4ir.Json.to_string ~indent:2 (profile_to_json prog prof) in
     match output with
-    | Some out ->
-      let oc = open_out out in
-      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc json)
+    | Some out -> write_text out json
     | None -> print_string json
   in
   Cmd.v
@@ -271,18 +146,10 @@ let telemetry_cmd =
     Arg.(value & opt int 64
          & info [ "trace-sample" ] ~docv:"N" ~doc:"Trace one packet in every N.")
   in
-  let write_text path text =
-    let oc = open_out path in
-    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text)
-  in
   let run path target trace_path packets windows format output trace_out sample =
     let prog = read_program path in
     let trace = Traffic.Trace.load trace_path in
-    let tel =
-      match trace_out with
-      | Some _ -> Telemetry.create ~trace_capacity:65536 ~trace_sample_every:sample ()
-      | None -> Telemetry.create ()
-    in
+    let tel = make_sink ~trace_out ~sample ~enabled:true () in
     let sim = Nicsim.Sim.create ~telemetry:tel target prog in
     for _ = 1 to windows do
       ignore
@@ -356,12 +223,32 @@ let validate_cmd =
   in
   Cmd.v (Cmd.info "validate" ~doc:"Validate a program file.") Term.(const run $ program_arg)
 
+(* Flags shared by the fuzzing entry points (fuzz and chaos). *)
+let seed_arg =
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc:"Generator seed.")
+
+let fuzz_budget_arg ~default =
+  Arg.(value & opt int default & info [ "budget" ] ~docv:"N" ~doc:"Number of generated cases.")
+
+let fuzz_packets_arg =
+  Arg.(value & opt int 64 & info [ "packets" ] ~docv:"N" ~doc:"Packets replayed per case.")
+
+let fuzz_out_arg =
+  Arg.(value & opt string "_fuzz"
+       & info [ "o"; "out" ] ~docv:"DIR"
+           ~doc:"Where shrunk repro bundles are written; \"none\" disables writing.")
+
+let report_findings report =
+  print_string (Fuzz.Driver.summary report);
+  if report.Fuzz.Driver.findings <> [] then exit 1
+
 let fuzz_cmd =
   let mode_conv =
     let parse s =
       match Fuzz.Driver.mode_of_string s with
       | Some m -> Ok m
-      | None -> Error (`Msg ("unknown mode: " ^ s ^ " (sim-diff|optim-equiv|serialize-roundtrip)"))
+      | None ->
+        Error (`Msg ("unknown mode: " ^ s ^ " (sim-diff|optim-equiv|serialize-roundtrip|chaos)"))
     in
     Arg.conv (parse, fun fmt m -> Format.pp_print_string fmt (Fuzz.Driver.mode_to_string m))
   in
@@ -369,21 +256,8 @@ let fuzz_cmd =
     Arg.(value & opt mode_conv Fuzz.Driver.Optim_equiv
          & info [ "m"; "mode" ] ~docv:"MODE"
              ~doc:"Oracle: sim-diff (reference interpreter vs simulator), optim-equiv \
-                   (original vs optimized program), or serialize-roundtrip.")
-  in
-  let seed_arg =
-    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc:"Generator seed.")
-  in
-  let budget_arg =
-    Arg.(value & opt int 200 & info [ "budget" ] ~docv:"N" ~doc:"Number of generated cases.")
-  in
-  let packets_arg =
-    Arg.(value & opt int 64 & info [ "packets" ] ~docv:"N" ~doc:"Packets replayed per case.")
-  in
-  let out_arg =
-    Arg.(value & opt string "_fuzz"
-         & info [ "o"; "out" ] ~docv:"DIR"
-             ~doc:"Where shrunk repro bundles are written; \"none\" disables writing.")
+                   (original vs optimized program), serialize-roundtrip, or chaos \
+                   (self-healing runtime under fault injection).")
   in
   let mutant_arg =
     Arg.(value & opt (some string) None
@@ -400,12 +274,6 @@ let fuzz_cmd =
          & info [ "optimizer-parallel" ]
              ~doc:"Run the optimizer's local search across domains (the fast path); \
                    plans must stay identical to the sequential reference.")
-  in
-  let telemetry_arg =
-    Arg.(value & flag
-         & info [ "telemetry" ]
-             ~doc:"Attach an enabled telemetry sink (metrics + sampled tracing) to every \
-                   executor under test; any divergence then indicts the instrumentation.")
   in
   let run mode seed budget packets out mutant replay parallel telemetry target =
     let mutate =
@@ -440,12 +308,9 @@ let fuzz_cmd =
         exit 1)
     | None ->
       let out_dir = if out = "none" then None else Some out in
-      let report =
-        Fuzz.Driver.run ?out_dir ?optimizer_config ?mutate ~n_packets:packets ~telemetry
-          ~target mode ~seed ~budget
-      in
-      print_string (Fuzz.Driver.summary report);
-      if report.Fuzz.Driver.findings <> [] then exit 1
+      report_findings
+        (Fuzz.Driver.run ?out_dir ?optimizer_config ?mutate ~n_packets:packets ~telemetry
+           ~target mode ~seed ~budget)
   in
   Cmd.v
     (Cmd.info "fuzz"
@@ -453,8 +318,68 @@ let fuzz_cmd =
          "Differential conformance fuzzing: generate random programs, profiles and \
           packet streams; replay them through independent executions; shrink and \
           persist any divergence.")
-    Term.(const run $ mode_arg $ seed_arg $ budget_arg $ packets_arg $ out_arg $ mutant_arg
-          $ replay_arg $ parallel_arg $ telemetry_arg $ target_arg)
+    Term.(const run $ mode_arg $ seed_arg $ fuzz_budget_arg ~default:200 $ fuzz_packets_arg
+          $ fuzz_out_arg $ mutant_arg $ replay_arg $ parallel_arg $ telemetry_flag
+          $ target_arg)
+
+let chaos_cmd =
+  let remediations_arg =
+    Arg.(value & flag
+         & info [ "remediations" ]
+             ~doc:"After the run, print the aggregated runtime.remediations.* counters \
+                   (rollbacks, retries, update repairs, ...) — what the injector \
+                   provoked and the controller healed. Runs every case under one \
+                   shared telemetry sink.")
+  in
+  (* Chaos cases cost a whole control loop each (several ticks, deploys,
+     rollbacks), so the default budget is far below fuzz's. *)
+  let run seed budget packets out telemetry remediations target =
+    let out_dir = if out = "none" then None else Some out in
+    if not remediations then
+      report_findings
+        (Fuzz.Driver.run ?out_dir ~n_packets:packets ~telemetry ~target Fuzz.Driver.Chaos
+           ~seed ~budget)
+    else begin
+      (* One sink across all cases, so the remediation counters aggregate
+         over the whole run. Same per-case generators as Driver.run, so
+         the same seed fuzzes the same cases either way. *)
+      let sink = Telemetry.create () in
+      Printf.printf "fuzz mode=chaos seed=%d budget=%d packets/case=%d\n" seed budget packets;
+      let divergences = ref 0 in
+      for i = 0 to budget - 1 do
+        let case = Fuzz.Gen.case ~n_packets:packets (Fuzz.Driver.case_rng ~seed i) in
+        match Fuzz.Chaos.check ~sink target case with
+        | None -> ()
+        | Some d ->
+          incr divergences;
+          Printf.printf "case %d: %s%s\n" i
+            (if d.Fuzz.Oracle.packet_index >= 0 then
+               Printf.sprintf "packet %d: " d.Fuzz.Oracle.packet_index
+             else "")
+            d.Fuzz.Oracle.reason
+      done;
+      let m = Telemetry.metrics sink in
+      let count name =
+        Option.value ~default:0 (Telemetry.Metrics.find_counter m ("runtime.remediations." ^ name))
+      in
+      Printf.printf "remediations: rollback=%d retry=%d update_repair=%d\n"
+        (count "rollback") (count "retry") (count "update_repair");
+      Printf.printf "reversals: cache_evict=%d merge_split=%d shed=%d\n"
+        (count "cache_evict") (count "merge_split") (count "shed");
+      Printf.printf "divergences=%d cases=%d\n" !divergences budget;
+      if !divergences > 0 then exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Fuzz the self-healing runtime: drive a live controller with fault \
+          injection enabled (failed deploys, dropped and corrupted entry updates, \
+          skewed profile counters) and require it to converge back to a healthy \
+          layout with forwarding bit-identical to the reference interpreter \
+          throughout. Equivalent to `fuzz --mode chaos`.")
+    Term.(const run $ seed_arg $ fuzz_budget_arg ~default:25 $ fuzz_packets_arg
+          $ fuzz_out_arg $ telemetry_flag $ remediations_arg $ target_arg)
 
 let () =
   let info =
@@ -465,4 +390,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ optimize_cmd; cost_cmd; profile_cmd; telemetry_cmd; pipelets_cmd; graph_cmd;
-            translate_cmd; validate_cmd; fuzz_cmd ]))
+            translate_cmd; validate_cmd; fuzz_cmd; chaos_cmd ]))

@@ -33,8 +33,8 @@ type result = {
   elapsed_seconds : float;
 }
 
-let optimize ?(config = default_config) ?(generation = 0) ?warm ?telemetry target prof
-    prog =
+let optimize ?(config = default_config) ?(generation = 0) ?warm ?(exclusions = [])
+    ?telemetry target prof prog =
   let t0 = Sys.time () in
   let pipelets = Pipelet.form ~max_len:config.max_pipelet_len prog in
   let hots = Hotspot.rank target prof prog pipelets in
@@ -48,10 +48,10 @@ let optimize ?(config = default_config) ?(generation = 0) ?warm ?telemetry targe
   let candidates =
     if config.use_parallel then
       Search.local_optimize_parallel ~opts:config.candidate_opts ~name_prefix ?cache
-        ?signature target prof prog top
+        ?signature ~exclusions target prof prog top
     else
       Search.local_optimize ~opts:config.candidate_opts ~name_prefix ?cache ?signature
-        target prof prog top
+        ~exclusions target prof prog top
   in
   let cache_hits, cache_misses =
     match cache with

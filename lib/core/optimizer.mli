@@ -45,6 +45,7 @@ val optimize :
   ?config:config ->
   ?generation:int ->
   ?warm:warm ->
+  ?exclusions:Search.exclusion list ->
   ?telemetry:Telemetry.t ->
   Costmodel.Target.t ->
   Profile.t ->
@@ -53,10 +54,14 @@ val optimize :
 (** One optimization round. [generation] disambiguates generated table
     names across successive runtime rounds. [warm] lets a long-lived
     controller reuse candidate evaluations for pipelets whose signature
-    (tables + bucketed profile) is unchanged since a previous round. The
-    input program should carry current table entries (see
-    {!Nicsim.Exec.sync_entries_to_ir}) so match-kind [m] values and
-    resource accounting are current.
+    (tables + bucketed profile) is unchanged since a previous round.
+    [exclusions] blacklist transformation kinds per original table
+    ({!Search.exclusion}) — the runtime controller's remediation path
+    uses them to reverse underperforming caches and blown-up merges; they
+    compose with [warm] because the exclusions relevant to a pipelet are
+    part of its cache key. The input program should carry current table
+    entries (see {!Nicsim.Exec.sync_entries_to_ir}) so match-kind [m]
+    values and resource accounting are current.
 
     With an enabled [telemetry] sink, each round records counters
     [optimizer.runs] / [optimizer.candidates_examined] /

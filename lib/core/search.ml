@@ -29,8 +29,57 @@ let cache_store c key evaluated =
   if Hashtbl.length c.tbl >= cache_capacity then Hashtbl.reset c.tbl;
   Hashtbl.replace c.tbl key evaluated
 
-let evaluate_pipelet ?opts target prof ~reach_prob originals =
+type exclusion = string * Candidate.seg_kind
+
+let kind_tag = function
+  | Candidate.Cache_seg -> "c"
+  | Candidate.Merge_ternary_seg -> "m"
+  | Candidate.Merge_fallback_seg -> "f"
+
+(* The exclusions that can affect this pipelet, rendered canonically.
+   Appended to the warm-cache key so evaluations computed under one
+   blacklist are never replayed under another; exclusions on unrelated
+   tables leave the key — and thus the cached evaluations — untouched. *)
+let exclusion_key exclusions (originals : P4ir.Table.t list) =
+  match exclusions with
+  | [] -> ""
+  | _ ->
+    let relevant =
+      List.filter
+        (fun (name, _) ->
+          List.exists (fun (t : P4ir.Table.t) -> String.equal t.name name) originals)
+        exclusions
+    in
+    if relevant = [] then ""
+    else
+      let rendered =
+        List.sort_uniq compare
+          (List.map (fun (name, kind) -> name ^ ":" ^ kind_tag kind) relevant)
+      in
+      "|x=" ^ String.concat ";" rendered
+
+let combo_allowed exclusions (originals : P4ir.Table.t list) (combo : Candidate.combo) =
+  match exclusions with
+  | [] -> true
+  | _ ->
+    let names = Array.of_list (List.map (fun (t : P4ir.Table.t) -> t.name) originals) in
+    let order = Array.of_list combo.order in
+    not
+      (List.exists
+         (fun (s : Candidate.seg) ->
+           let banned i =
+             let name = names.(order.(i)) in
+             List.exists
+               (fun (n, k) -> k = s.kind && String.equal n name)
+               exclusions
+           in
+           let rec any i = i < s.pos + s.len && (banned i || any (i + 1)) in
+           any s.pos)
+         combo.segs)
+
+let evaluate_pipelet ?opts ?(exclusions = []) target prof ~reach_prob originals =
   let combos = Candidate.enumerate ?opts prof originals in
+  let combos = List.filter (combo_allowed exclusions originals) combos in
   (* Analytic evaluation only: materializing candidate tables (cross
      products!) happens once, for the chosen combination. *)
   let ctx = Candidate.context ?opts target prof ~reach_prob originals in
@@ -53,17 +102,25 @@ let cache_probe cache key =
       None)
   | _ -> None
 
-let local_optimize ?opts ?name_prefix ?cache ?signature target prof prog hots =
+let local_optimize ?opts ?name_prefix ?cache ?signature ?(exclusions = []) target prof
+    prog hots =
   ignore name_prefix;
   List.map
     (fun (hot : Hotspot.hot) ->
       let originals = Pipelet.tables prog hot.pipelet in
-      let key = Option.map (fun sign -> sign hot originals) signature in
+      let key =
+        Option.map
+          (fun sign -> sign hot originals ^ exclusion_key exclusions originals)
+          signature
+      in
       let evaluated =
         match cache_probe cache key with
         | Some ev -> ev
         | None ->
-          let ev = evaluate_pipelet ?opts target prof ~reach_prob:hot.reach_prob originals in
+          let ev =
+            evaluate_pipelet ?opts ~exclusions target prof ~reach_prob:hot.reach_prob
+              originals
+          in
           (match (cache, key) with
            | Some c, Some k -> cache_store c k ev
            | _ -> ());
@@ -72,8 +129,8 @@ let local_optimize ?opts ?name_prefix ?cache ?signature target prof prog hots =
       { hot; evaluated })
     hots
 
-let local_optimize_parallel ?opts ?name_prefix ?cache ?signature ?domains target prof
-    prog hots =
+let local_optimize_parallel ?opts ?name_prefix ?cache ?signature ?(exclusions = [])
+    ?domains target prof prog hots =
   let hots_arr = Array.of_list hots in
   let n = Array.length hots_arr in
   let requested =
@@ -81,7 +138,7 @@ let local_optimize_parallel ?opts ?name_prefix ?cache ?signature ?domains target
   in
   let ndom = max 1 (min requested n) in
   if ndom < 2 || n < 2 then
-    local_optimize ?opts ?name_prefix ?cache ?signature target prof prog hots
+    local_optimize ?opts ?name_prefix ?cache ?signature ~exclusions target prof prog hots
   else begin
     ignore name_prefix;
     (* Pipelet table extraction and warm-cache probes stay on this
@@ -91,7 +148,11 @@ let local_optimize_parallel ?opts ?name_prefix ?cache ?signature ?domains target
     in
     let keys =
       Array.init n (fun i ->
-          Option.map (fun sign -> sign hots_arr.(i) originals_arr.(i)) signature)
+          Option.map
+            (fun sign ->
+              sign hots_arr.(i) originals_arr.(i)
+              ^ exclusion_key exclusions originals_arr.(i))
+            signature)
     in
     let results = Array.make n None in
     let miss_idx = ref [] in
@@ -113,8 +174,8 @@ let local_optimize_parallel ?opts ?name_prefix ?cache ?signature ?domains target
         let i = misses.(!j) in
         results.(i) <-
           Some
-            (evaluate_pipelet ?opts target prof ~reach_prob:hots_arr.(i).reach_prob
-               originals_arr.(i));
+            (evaluate_pipelet ?opts ~exclusions target prof
+               ~reach_prob:hots_arr.(i).reach_prob originals_arr.(i));
         j := !j + ndom
       done
     in

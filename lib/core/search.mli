@@ -29,11 +29,19 @@ val create_cache : unit -> eval_cache
 val cache_stats : eval_cache -> int * int
 (** [(hits, misses)] accumulated over the cache's lifetime. *)
 
+type exclusion = string * Candidate.seg_kind
+(** Ban one transformation kind on one (original) table: any combination
+    with a segment of that kind covering that table is discarded before
+    evaluation. This is how the runtime's remediation reverses a bad
+    optimization — a cold cache or a blown-up merge gets its kind
+    blacklisted, and the next search round routes around it. *)
+
 val local_optimize :
   ?opts:Candidate.options ->
   ?name_prefix:string ->
   ?cache:eval_cache ->
   ?signature:(Hotspot.hot -> P4ir.Table.t list -> string) ->
+  ?exclusions:exclusion list ->
   Costmodel.Target.t ->
   Profile.t ->
   P4ir.Program.t ->
@@ -42,13 +50,17 @@ val local_optimize :
 (** LocalOptimize: enumerate and analytically evaluate every valid
     combination for each pipelet. When both [cache] and [signature] are
     given, each pipelet's evaluated list is reused from the cache when
-    its signature matches a previous round. *)
+    its signature matches a previous round. [exclusions] filter the
+    candidate set; the exclusions that touch a pipelet's tables are
+    folded into its cache key, so a warm cache never replays evaluations
+    computed under a different blacklist. *)
 
 val local_optimize_parallel :
   ?opts:Candidate.options ->
   ?name_prefix:string ->
   ?cache:eval_cache ->
   ?signature:(Hotspot.hot -> P4ir.Table.t list -> string) ->
+  ?exclusions:exclusion list ->
   ?domains:int ->
   Costmodel.Target.t ->
   Profile.t ->

@@ -53,9 +53,59 @@ let chain_program name elements =
   P4ir.Program.validate_exn prog;
   prog
 
+(* A switch-case pipelet is a single [Per_action] table: its exit is not
+   one node, so the generic [build_sequence ~exit] wiring (which would
+   send every path to [p.exit = None], severing the branches) cannot be
+   used. Rebuild the branching explicitly — the original table keeps its
+   per-action successors on the miss path, and each cache hit action
+   jumps exactly where the original action would have gone. *)
+let apply_switch_case prog (p : Pipelet.t) elements =
+  let branches =
+    match P4ir.Program.find_exn prog p.entry with
+    | P4ir.Program.Table (_, P4ir.Program.Per_action bs) -> bs
+    | _ -> invalid_arg "Transform.apply: switch-case pipelet is not Per_action"
+  in
+  match elements with
+  | [ Cached { cache; originals = [ orig ] } ] ->
+    let prog, orig_id =
+      P4ir.Program.add_node prog
+        (P4ir.Program.Table (orig, P4ir.Program.Per_action branches))
+    in
+    let hit_target (a : P4ir.Action.t) =
+      (* Fused names over a single original are [table:action]; route the
+         hit to the branch the underlying action selects. *)
+      match Profile.Counter_map.split_fused a.name with
+      | [ (_, aname) ] -> (
+        match List.assoc_opt aname branches with
+        | Some next -> next
+        | None ->
+          invalid_arg
+            ("Transform.apply: cache action has no branch: " ^ a.name))
+      | _ -> invalid_arg ("Transform.apply: unexpected fused action: " ^ a.name)
+    in
+    let cache_branches =
+      List.map
+        (fun (a : P4ir.Action.t) ->
+          if String.equal a.name cache.P4ir.Table.default_action then
+            (a.name, Some orig_id)
+          else (a.name, hit_target a))
+        cache.P4ir.Table.actions
+    in
+    let prog, cache_id =
+      P4ir.Program.add_node prog
+        (P4ir.Program.Table (cache, P4ir.Program.Per_action cache_branches))
+    in
+    (prog, cache_id)
+  | _ -> invalid_arg "Transform.apply: switch-case pipelet admits only a single cache"
+
 let apply prog (p : Pipelet.t) elements =
-  let prog, entry = build_sequence prog elements ~exit:p.exit in
-  let entry_id = match entry with Some id -> id | None -> assert false in
+  let prog, entry_id =
+    if p.is_switch_case then apply_switch_case prog p elements
+    else begin
+      let prog, entry = build_sequence prog elements ~exit:p.exit in
+      match entry with Some id -> (prog, id) | None -> assert false
+    end
+  in
   let prog = P4ir.Program.redirect prog ~old_target:p.entry ~new_target:(Some entry_id) in
   let prog = List.fold_left P4ir.Program.remove_node prog p.table_ids in
   (match P4ir.Program.validate prog with

@@ -1,0 +1,34 @@
+(** Chaos oracle: the self-healing runtime under injected faults.
+
+    One case drives a live {!Runtime.Controller} — fault injection
+    enabled ({!Runtime.Faults}) — through several control-loop rounds:
+    every round replays the case's packet stream through the deployed
+    data plane and compares each packet, field for field, against
+    {!Refsim} running the controller's original program; then churns
+    entries through the control-plane API (which may be dropped or
+    corrupted in flight) and ticks the controller (whose deploys may
+    fail and roll back, and whose profile is skewed).
+
+    The property checked is the paper's §3.2 requirement end-to-end:
+    whatever the injector does, the controller must converge back to a
+    healthy layout with forwarding bit-identical to the reference
+    interpreter throughout — after every round and after the final
+    tick. Deterministic: the fault seed, churn, and deploy mode derive
+    from the case contents, so a shrunk case replays identically. *)
+
+val rounds : int
+(** Control-loop rounds per case (packet replay + churn + tick). *)
+
+val check :
+  ?telemetry:bool -> ?sink:Telemetry.t -> Costmodel.Target.t -> Gen.case -> Oracle.divergence option
+(** Run one case; [Some d] when forwarding diverged from the reference
+    (the reason is prefixed with the round it happened in) or the
+    controller raised. With [telemetry] the simulator carries an enabled
+    sink, so the runtime's remediation counters and rollback spans are
+    exercised under fault load too. [sink] overrides that with a
+    caller-owned sink — shared across cases it aggregates the
+    [runtime.remediations.*] counters, which is how [pipeleonc chaos]
+    reports what the injector provoked and the controller repaired.
+    @raise Invalid_argument if the program carries non-[Regular] tables
+    (the reference interpreter cannot model them; generated cases never
+    do). *)

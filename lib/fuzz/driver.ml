@@ -1,16 +1,18 @@
 module Program = P4ir.Program
 
-type mode = Sim_diff | Optim_equiv | Roundtrip
+type mode = Sim_diff | Optim_equiv | Roundtrip | Chaos
 
 let mode_to_string = function
   | Sim_diff -> "sim-diff"
   | Optim_equiv -> "optim-equiv"
   | Roundtrip -> "serialize-roundtrip"
+  | Chaos -> "chaos"
 
 let mode_of_string = function
   | "sim-diff" -> Some Sim_diff
   | "optim-equiv" -> Some Optim_equiv
   | "serialize-roundtrip" | "roundtrip" -> Some Roundtrip
+  | "chaos" -> Some Chaos
   | _ -> None
 
 let default_optimizer_config = { Pipeleon.Optimizer.default_config with top_k = 1.0 }
@@ -20,6 +22,7 @@ let check ?(optimizer_config = default_optimizer_config) ?mutate ?telemetry targ
   match mode with
   | Sim_diff -> Oracle.sim_diff ?telemetry target case.program case.packets
   | Roundtrip -> Oracle.roundtrip ?telemetry target case.program case.packets
+  | Chaos -> Chaos.check ?telemetry target case
   | Optim_equiv ->
     Oracle.optim_equiv ~config:optimizer_config
       ?mutate:(Option.map (fun (m : Mutate.t) -> m.apply) mutate)

@@ -7,10 +7,15 @@ type mode =
   | Sim_diff  (** reference interpreter vs [Nicsim.Exec] on the raw program *)
   | Optim_equiv  (** original vs [Pipeleon.Optimizer]-rewritten program *)
   | Roundtrip  (** JSON + P4-lite serialization round trips *)
+  | Chaos
+      (** self-healing runtime under injected faults: a live
+          {!Runtime.Controller} must keep forwarding bit-identical to
+          the reference interpreter through failed deploys, corrupted
+          updates, and skewed profiles ({!Chaos.check}) *)
 
 val mode_to_string : mode -> string
 val mode_of_string : string -> mode option
-(** ["sim-diff"], ["optim-equiv"], ["serialize-roundtrip"]. *)
+(** ["sim-diff"], ["optim-equiv"], ["serialize-roundtrip"], ["chaos"]. *)
 
 val default_optimizer_config : Pipeleon.Optimizer.config
 (** {!Pipeleon.Optimizer.default_config} with [top_k = 1.0]: fuzzing

@@ -13,6 +13,14 @@ val supported : P4ir.Program.t -> bool
     metadata, so programs already rewritten by Pipeleon are compared
     engine-vs-engine ([replay_diff]) instead. *)
 
+val exec_obs : Nicsim.Exec.t -> Gen.flow -> Refsim.obs
+(** One packet through a live executor, observed the way {!Refsim}
+    reports (final fields, drop flag, egress, action trace) so the two
+    sides compare with {!Refsim.diff_obs}. The executor is stateful —
+    caches fill, counters advance — which is the point: it is the
+    system under test. Used by the oracles here and by {!Chaos}, which
+    needs the observation against a controller-owned simulator. *)
+
 val sim_diff :
   ?telemetry:bool -> Costmodel.Target.t -> P4ir.Program.t -> Gen.flow list -> divergence option
 (** {!Refsim} vs {!Nicsim.Exec} on the same program, comparing final

@@ -6,7 +6,12 @@ type t = {
   mutable last_profile_time : float;
   mutable lat_scratch : float array;  (* reused latency buffer, one slot per packet *)
   lat_hist : Telemetry.Histogram.t;  (* per-window latency histogram, reset in [finish] *)
+  mutable deploy_fault : (unit -> string option) option;
+      (* consulted after a reconfigure/hot_patch lands; Some reason vetoes
+         the deploy (fault injection — Runtime.Faults installs this) *)
 }
+
+exception Deploy_failed of string
 
 let create ?config ?telemetry tgt prog =
   let cfg = match config with Some c -> c | None -> Exec.default_config tgt in
@@ -18,7 +23,8 @@ let create ?config ?telemetry tgt prog =
     counter_baseline = Profile.Counter.create ();
     last_profile_time = 0.;
     lat_scratch = [||];
-    lat_hist = Telemetry.Histogram.create () }
+    lat_hist = Telemetry.Histogram.create ();
+    deploy_fault = None }
 
 let exec t = t.ex
 let target t = t.tgt
@@ -231,6 +237,18 @@ let insert t ~table entry = Engine.insert (Exec.engine_exn t.ex table) entry
 
 let delete t ~table ~patterns = Engine.delete (Exec.engine_exn t.ex table) ~patterns
 
+let set_deploy_fault t hook = t.deploy_fault <- hook
+
+(* The fault hook runs after the new program is installed and the
+   downtime is charged: an injected failure models a deployment that came
+   up and failed verification, leaving the unverified program running
+   until the caller (the runtime controller) rolls back. *)
+let verify_deploy t =
+  match t.deploy_fault with
+  | None -> ()
+  | Some hook -> (
+    match hook () with None -> () | Some reason -> raise (Deploy_failed reason))
+
 let reconfigure ?config ?(downtime = 0.) t prog =
   let cfg = match config with Some c -> c | None -> Exec.config t.ex in
   let old_ex = t.ex in
@@ -250,11 +268,13 @@ let reconfigure ?config ?(downtime = 0.) t prog =
     (P4ir.Program.tables prog);
   t.ex <- fresh;
   t.counter_baseline <- Profile.Counter.create ();
-  advance t downtime
+  advance t downtime;
+  verify_deploy t
 
 let hot_patch ?(downtime_per_table = 0.02) t prog =
   let changed = Exec.replace_program t.ex prog in
   advance t (downtime_per_table *. float_of_int changed);
+  verify_deploy t;
   changed
 
 let current_profile ?window t =

@@ -94,19 +94,39 @@ val insert : t -> table:string -> P4ir.Table.entry -> unit
 
 val delete : t -> table:string -> patterns:P4ir.Pattern.t list -> bool
 
+exception Deploy_failed of string
+(** A deployment came up but failed post-install verification (today only
+    raised when a fault hook is installed — see {!set_deploy_fault}). *)
+
+val set_deploy_fault : t -> (unit -> string option) option -> unit
+(** Install (or clear) a deployment-fault hook, consulted by
+    {!reconfigure} and {!hot_patch} *after* the new program has been
+    installed — modelling a deployment that comes up and then fails
+    verification (bad reflash, rejected table layout). When the hook
+    returns [Some reason], the call raises {!Deploy_failed} and the NEW
+    program is left running: the caller owns recovery (the runtime
+    controller rolls back to its last-known-good layout). [None] from the
+    hook means the deploy verified fine. No hook (the default) means
+    deploys never fail — production behaviour is unchanged. *)
+
 val reconfigure : ?config:Exec.config -> ?downtime:float -> t -> P4ir.Program.t -> unit
 (** Swap in a new program. Tables whose names survive keep their dynamic
     entries (live reconfiguration on runtime-programmable NICs); caches of
     the outgoing program are not carried over. [downtime] (default 0)
     advances the clock, modelling reload-based targets like Agilio
-    (§5.1: micro-engine reflash interrupts service). *)
+    (§5.1: micro-engine reflash interrupts service).
+    @raise Deploy_failed when an installed fault hook vetoes the deploy;
+    the downtime is still charged (the reflash happened) and the new —
+    unverified — program is installed until the caller recovers. *)
 
 val hot_patch : ?downtime_per_table:float -> t -> P4ir.Program.t -> int
 (** Incremental reconfiguration (§6 "compile and deploy updates
     incrementally"): keep engines, counters, and clock; only new or
     reshaped tables are rebuilt. The clock advances by
     [downtime_per_table] (default 0.02 s) per rebuilt table — a fraction
-    of a full reload. Returns the number of rebuilt tables. *)
+    of a full reload. Returns the number of rebuilt tables.
+    @raise Deploy_failed under an installed fault hook, as with
+    {!reconfigure}; rebuilt-table downtime is still charged. *)
 
 val current_profile : ?window:float -> t -> Profile.t
 (** Profile from the counters accumulated since the last call (folded

@@ -3,8 +3,18 @@ type issue =
   | Merged_blowup of { merged : string; entries : int; limit : int }
   | Update_storm of { table : string; rate : float; limit : float }
 
-let assess ?(hit_rate_slack = 0.15) ?(entry_limit = Pipeleon.Merge.max_merged_entries)
-    ?(update_limit = 5000.) ~observed prog =
+type thresholds = {
+  hit_rate_slack : float;
+  entry_limit : int;
+  update_limit : float;
+}
+
+let default_thresholds =
+  { hit_rate_slack = 0.15;
+    entry_limit = Pipeleon.Merge.max_merged_entries;
+    update_limit = 5000. }
+
+let run ~storm_all_tables th ~observed prog =
   let issues = ref [] in
   List.iter
     (fun (_, (tab : P4ir.Table.t)) ->
@@ -19,23 +29,37 @@ let assess ?(hit_rate_slack = 0.15) ?(entry_limit = Pipeleon.Merge.max_merged_en
            in
            let observed_hit = 1. -. miss in
            let expected = Profile.default_cache_hit observed in
-           if observed_hit < expected -. hit_rate_slack then
+           if observed_hit < expected -. th.hit_rate_slack then
              issues :=
                Low_hit_rate { cache = tab.name; observed = observed_hit; expected }
                :: !issues
          | None -> ())
        | P4ir.Table.Merged _ ->
          let n = P4ir.Table.num_entries tab in
-         if n > entry_limit then
-           issues := Merged_blowup { merged = tab.name; entries = n; limit = entry_limit } :: !issues
+         if n > th.entry_limit then
+           issues :=
+             Merged_blowup { merged = tab.name; entries = n; limit = th.entry_limit }
+             :: !issues
        | _ -> ());
       let rate = Profile.update_rate observed ~table_name:tab.name in
-      match tab.role with
-      | P4ir.Table.Merged _ when rate > update_limit ->
-        issues := Update_storm { table = tab.name; rate; limit = update_limit } :: !issues
-      | _ -> ())
+      let storm_eligible =
+        match tab.role with
+        | P4ir.Table.Merged _ -> true
+        | _ -> storm_all_tables
+      in
+      if storm_eligible && rate > th.update_limit then
+        issues := Update_storm { table = tab.name; rate; limit = th.update_limit } :: !issues)
     (P4ir.Program.tables prog);
   List.rev !issues
+
+let check ?(thresholds = default_thresholds) ~observed prog =
+  run ~storm_all_tables:true thresholds ~observed prog
+
+let assess ?(hit_rate_slack = default_thresholds.hit_rate_slack)
+    ?(entry_limit = default_thresholds.entry_limit)
+    ?(update_limit = default_thresholds.update_limit) ~observed prog =
+  (* Pre-thresholds API: storms were only reported on merged tables. *)
+  run ~storm_all_tables:false { hit_rate_slack; entry_limit; update_limit } ~observed prog
 
 let pp_issue fmt = function
   | Low_hit_rate { cache; observed; expected } ->

@@ -1,12 +1,38 @@
 (** Runtime health checks on deployed optimizations (§3.2 "optimization
     considerations"): caches whose observed hit rate underperforms and
     merged tables whose size or update rate exploded should trigger
-    re-optimization (possibly reversing the transformation). *)
+    re-optimization (possibly reversing the transformation — see
+    {!Remediate}). *)
 
 type issue =
   | Low_hit_rate of { cache : string; observed : float; expected : float }
   | Merged_blowup of { merged : string; entries : int; limit : int }
   | Update_storm of { table : string; rate : float; limit : float }
+
+type thresholds = {
+  hit_rate_slack : float;
+      (** how far below the planning estimate a cache's observed hit rate
+          may fall before flagging; strict — exactly-at-slack is healthy *)
+  entry_limit : int;
+      (** merged tables above this many entries are blown up; strict —
+          exactly-at-limit is healthy *)
+  update_limit : float;
+      (** control-plane updates/s above which a table is being stormed;
+          strict — exactly-at-limit is healthy *)
+}
+
+val default_thresholds : thresholds
+(** slack 0.15, entry limit {!Pipeleon.Merge.max_merged_entries},
+    update limit 5000/s. *)
+
+val check : ?thresholds:thresholds -> observed:Profile.t -> P4ir.Program.t -> issue list
+(** [observed] is the profile of the *optimized* program (real counter
+    data). Flags underperforming auto-insert caches, blown-up merged
+    tables, and update storms on any table (merged tables get it worst —
+    one original-table update fans out into merged-entry rewrites — but a
+    storm on a regular table still means re-optimizing it now would churn;
+    the controller sheds that work). Issues appear in program-table
+    order. *)
 
 val assess :
   ?hit_rate_slack:float ->
@@ -15,8 +41,9 @@ val assess :
   observed:Profile.t ->
   P4ir.Program.t ->
   issue list
-(** [observed] is the profile of the *optimized* program (real counter
-    data). [hit_rate_slack] (default 0.15) is how far below the planning
-    estimate a cache may fall before flagging. *)
+[@@ocaml.deprecated "Use Monitor.check with a Monitor.thresholds record."]
+(** Deprecated pre-thresholds spelling of {!check}. Note one behaviour
+    difference kept for compatibility: [assess] only reports update
+    storms on merged tables. *)
 
 val pp_issue : Format.formatter -> issue -> unit

@@ -104,3 +104,18 @@ fuzz runs a deterministic smoke budget (all oracles, fixed seed):
   $ $PIPELEONC fuzz --mode serialize-roundtrip --seed 1 --budget 10 --packets 16 --out none
   fuzz mode=serialize-roundtrip seed=1 budget=10 packets/case=16
   divergences=0 cases=10
+
+chaos drives the self-healing runtime under injected faults. The fault
+config deterministically fails the first deploy attempt of every
+controller, so a clean run is itself the proof of the remediation path:
+every injected deploy failure was rolled back to the last-known-good
+layout and the retry converged (rollback count = retry count), dropped
+and corrupted entry updates were caught by read-back and repaired, and
+forwarding stayed bit-identical to the reference interpreter throughout
+(divergences=0):
+
+  $ $PIPELEONC chaos --seed 1 --budget 3 --packets 16 --out none --remediations
+  fuzz mode=chaos seed=1 budget=3 packets/case=16
+  remediations: rollback=4 retry=4 update_repair=8
+  reversals: cache_evict=4 merge_split=0 shed=0
+  divergences=0 cases=3

@@ -20,6 +20,36 @@ let test_deterministic () =
   let summary () = Fuzz.Driver.summary (run Fuzz.Driver.Optim_equiv ~seed:42 ~budget:50) in
   Alcotest.(check string) "same summary twice" (summary ()) (summary ())
 
+let test_chaos_smoke () =
+  (* Fewer cases than the stateless oracles — each chaos case runs a
+     whole control loop (several ticks with deploys) — but every one of
+     them must converge with forwarding bit-identical throughout. *)
+  let r = run Fuzz.Driver.Chaos ~seed:7 ~budget:10 in
+  Alcotest.(check int) "chaos clean" 0 (List.length r.Fuzz.Driver.findings)
+
+let test_chaos_deterministic () =
+  let summary () = Fuzz.Driver.summary (run Fuzz.Driver.Chaos ~seed:5 ~budget:5) in
+  Alcotest.(check string) "same chaos summary twice" (summary ()) (summary ())
+
+let test_chaos_injects () =
+  (* The injector must actually be doing something: a chaos-config
+     controller arms a deterministic first-attempt failure burst, so its
+     first deploy must roll back at least once — and still converge. *)
+  let case = Fuzz.Gen.case ~n_packets:32 (Fuzz.Driver.case_rng ~seed:7 0) in
+  let sim = Nicsim.Sim.create Costmodel.Target.bluefield2 case.Fuzz.Gen.program in
+  let ctl =
+    Runtime.Controller.create
+      ~config:
+        { Runtime.Controller.default_config with
+          faults = { Runtime.Faults.chaos_defaults with seed = 1 } }
+      sim ~original:case.Fuzz.Gen.program
+  in
+  let report = Runtime.Controller.deploy ctl case.Fuzz.Gen.program in
+  Alcotest.(check bool) "deploy fault injected and rolled back" true
+    (report.Runtime.Controller.rollbacks > 0);
+  Alcotest.(check bool) "but the deploy still converged" true
+    report.Runtime.Controller.installed
+
 let temp_dir name =
   let d = Filename.concat (Filename.get_temp_dir_name ()) ("pipeleon_fuzz_" ^ name) in
   (try Sys.mkdir d 0o755 with Sys_error _ -> ());
@@ -76,6 +106,9 @@ let () =
         [ Alcotest.test_case "sim-diff clean" `Quick (test_smoke Fuzz.Driver.Sim_diff);
           Alcotest.test_case "optim-equiv clean" `Quick (test_smoke Fuzz.Driver.Optim_equiv);
           Alcotest.test_case "roundtrip clean" `Quick (test_smoke Fuzz.Driver.Roundtrip);
+          Alcotest.test_case "chaos clean" `Quick test_chaos_smoke;
+          Alcotest.test_case "chaos deterministic" `Quick test_chaos_deterministic;
+          Alcotest.test_case "chaos injects faults" `Quick test_chaos_injects;
           Alcotest.test_case "deterministic" `Quick test_deterministic;
           Alcotest.test_case "case generation deterministic" `Quick test_shrink_bound ] );
       ("mutants", mutant_cases @ [ Alcotest.test_case "bundle clean without mutant" `Quick test_mutant_replay_clean ]) ]

@@ -106,6 +106,58 @@ let test_cache_with_drops_equivalence () =
   in
   check_bool "drop-through cache equivalent" true (equivalent prog prog')
 
+let test_cache_switch_case_keeps_branches () =
+  (* Caching a singleton Per_action pipelet must preserve the per-action
+     branching: a hit jumps where the fired action would have gone, a
+     miss falls to the original table with its branches intact. A past
+     bug wired both to the pipelet's (unrepresentable) exit, severing
+     the path to the join table — found by the chaos fuzzer. *)
+  let sw =
+    let tab =
+      P4ir.Table.make ~name:"sw"
+        ~keys:[ P4ir.Table.key P4ir.Field.Ipv4_src P4ir.Match_kind.Exact ]
+        ~actions:
+          [ P4ir.Action.make "goa" [ P4ir.Action.Set_field (P4ir.Field.Meta 1, 1L) ];
+            P4ir.Action.make "gob" [ P4ir.Action.Set_field (P4ir.Field.Meta 1, 2L) ] ]
+        ~default_action:"gob" ()
+    in
+    List.fold_left
+      (fun tab v -> P4ir.Table.add_entry tab (P4ir.Table.entry [ P4ir.Pattern.Exact v ] "goa"))
+      tab [ 1L; 2L ]
+  in
+  let join = mk_table 1 ~entries:[ 1L; 2L; 3L ] in
+  let prog = P4ir.Program.empty "p" in
+  let prog, join_id = P4ir.Program.add_node prog (P4ir.Program.Table (join, P4ir.Program.Uniform None)) in
+  let prog, sw_id =
+    P4ir.Program.add_node prog
+      (P4ir.Program.Table
+         (sw, P4ir.Program.Per_action [ ("goa", Some join_id); ("gob", None) ]))
+  in
+  let prog = P4ir.Program.with_root prog (Some sw_id) in
+  P4ir.Program.validate_exn prog;
+  let p =
+    List.find
+      (fun (p : Pipeleon.Pipelet.t) -> p.Pipeleon.Pipelet.entry = sw_id)
+      (Pipeleon.Pipelet.form prog)
+  in
+  check_bool "pipelet is switch-case" true p.Pipeleon.Pipelet.is_switch_case;
+  let cache = Pipeleon.Cache.build ~name:"c0" ~capacity:64 ~insert_limit:1e9 [ sw ] in
+  let prog' =
+    Pipeleon.Transform.apply prog p
+      [ Pipeleon.Transform.Cached { cache; originals = [ sw ] } ]
+  in
+  P4ir.Program.validate_exn prog';
+  (* The hit edge for the fused "goa" action must still reach the join. *)
+  let cache_id, _ =
+    List.find (fun (_, (t : P4ir.Table.t)) -> t.name = "c0") (P4ir.Program.tables prog')
+  in
+  (match P4ir.Program.find_exn prog' cache_id with
+   | P4ir.Program.Table (_, P4ir.Program.Per_action branches) ->
+     check_bool "hit branch reaches join" true
+       (List.exists (fun (_, next) -> next = Some join_id) branches)
+   | _ -> Alcotest.fail "cache is not Per_action");
+  check_bool "switch-case cache equivalent" true (equivalent prog prog')
+
 let test_merge_ternary_equivalence () =
   let tabs = chain 2 in
   let prog = P4ir.Program.linear "orig" tabs in
@@ -689,6 +741,8 @@ let () =
         [ Alcotest.test_case "reorder equivalence" `Quick test_reorder_apply_equivalence;
           Alcotest.test_case "cache equivalence" `Quick test_cache_apply_equivalence;
           Alcotest.test_case "cache with drops" `Quick test_cache_with_drops_equivalence;
+          Alcotest.test_case "switch-case cache keeps branches" `Quick
+            test_cache_switch_case_keeps_branches;
           Alcotest.test_case "ternary merge equivalence" `Quick test_merge_ternary_equivalence;
           Alcotest.test_case "fallback merge equivalence" `Quick test_merge_fallback_equivalence;
           Alcotest.test_case "merge entry counts" `Quick test_merge_entry_counts;
