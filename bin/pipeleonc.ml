@@ -238,6 +238,22 @@ let fuzz_out_arg =
        & info [ "o"; "out" ] ~docv:"DIR"
            ~doc:"Where shrunk repro bundles are written; \"none\" disables writing.")
 
+let driver_arg =
+  let drv_conv =
+    let parse s =
+      match Fuzz.Oracle.driver_of_string s with
+      | Some d -> Ok d
+      | None -> Error (`Msg ("unknown driver: " ^ s ^ " (interp|batched|parallel|compiled)"))
+    in
+    Arg.conv (parse, fun fmt d -> Format.pp_print_string fmt (Fuzz.Oracle.driver_to_string d))
+  in
+  Arg.(value & opt drv_conv Fuzz.Oracle.Interp
+       & info [ "driver" ] ~docv:"DRIVER"
+           ~doc:"Execution path carrying the packets under test: interp (default), \
+                 batched (one-packet bursts through run_batch), parallel (the sharded \
+                 replica shape), or compiled (the flattened op-array data path — in \
+                 chaos mode each deploy and rollback also exercises recompilation).")
+
 let report_findings report =
   print_string (Fuzz.Driver.summary report);
   if report.Fuzz.Driver.findings <> [] then exit 1
@@ -275,7 +291,7 @@ let fuzz_cmd =
              ~doc:"Run the optimizer's local search across domains (the fast path); \
                    plans must stay identical to the sequential reference.")
   in
-  let run mode seed budget packets out mutant replay parallel telemetry target =
+  let run mode seed budget packets out mutant replay parallel telemetry driver target =
     let mutate =
       Option.map
         (fun name ->
@@ -295,7 +311,9 @@ let fuzz_cmd =
     in
     match replay with
     | Some dir -> (
-      match Fuzz.Driver.replay ?optimizer_config ?mutate ~telemetry ~target mode ~dir with
+      match
+        Fuzz.Driver.replay ?optimizer_config ?mutate ~telemetry ~driver ~target mode ~dir
+      with
       | None ->
         print_endline "replay: no divergence";
         exit 0
@@ -310,7 +328,7 @@ let fuzz_cmd =
       let out_dir = if out = "none" then None else Some out in
       report_findings
         (Fuzz.Driver.run ?out_dir ?optimizer_config ?mutate ~n_packets:packets ~telemetry
-           ~target mode ~seed ~budget)
+           ~driver ~target mode ~seed ~budget)
   in
   Cmd.v
     (Cmd.info "fuzz"
@@ -320,7 +338,7 @@ let fuzz_cmd =
           persist any divergence.")
     Term.(const run $ mode_arg $ seed_arg $ fuzz_budget_arg ~default:200 $ fuzz_packets_arg
           $ fuzz_out_arg $ mutant_arg $ replay_arg $ parallel_arg $ telemetry_flag
-          $ target_arg)
+          $ driver_arg $ target_arg)
 
 let chaos_cmd =
   let remediations_arg =
@@ -333,12 +351,12 @@ let chaos_cmd =
   in
   (* Chaos cases cost a whole control loop each (several ticks, deploys,
      rollbacks), so the default budget is far below fuzz's. *)
-  let run seed budget packets out telemetry remediations target =
+  let run seed budget packets out telemetry driver remediations target =
     let out_dir = if out = "none" then None else Some out in
     if not remediations then
       report_findings
-        (Fuzz.Driver.run ?out_dir ~n_packets:packets ~telemetry ~target Fuzz.Driver.Chaos
-           ~seed ~budget)
+        (Fuzz.Driver.run ?out_dir ~n_packets:packets ~telemetry ~driver ~target
+           Fuzz.Driver.Chaos ~seed ~budget)
     else begin
       (* One sink across all cases, so the remediation counters aggregate
          over the whole run. Same per-case generators as Driver.run, so
@@ -348,7 +366,7 @@ let chaos_cmd =
       let divergences = ref 0 in
       for i = 0 to budget - 1 do
         let case = Fuzz.Gen.case ~n_packets:packets (Fuzz.Driver.case_rng ~seed i) in
-        match Fuzz.Chaos.check ~sink target case with
+        match Fuzz.Chaos.check ~driver ~sink target case with
         | None -> ()
         | Some d ->
           incr divergences;
@@ -379,7 +397,7 @@ let chaos_cmd =
           layout with forwarding bit-identical to the reference interpreter \
           throughout. Equivalent to `fuzz --mode chaos`.")
     Term.(const run $ seed_arg $ fuzz_budget_arg ~default:25 $ fuzz_packets_arg
-          $ fuzz_out_arg $ telemetry_flag $ remediations_arg $ target_arg)
+          $ fuzz_out_arg $ telemetry_flag $ driver_arg $ remediations_arg $ target_arg)
 
 let () =
   let info =

@@ -29,14 +29,14 @@ let controller_config ~salt =
    stream — flow caches fill — which is exactly how the NIC behaves;
    traces are not compared because the deployed layout legitimately
    differs from the original. *)
-let compare_round ~round ctl =
+let compare_round ?driver ~round ctl =
   let original = Runtime.Controller.original_program ctl in
   let sim = Runtime.Controller.sim ctl in
   let rec go i = function
     | [] -> None
     | flow :: rest -> (
       let want = Refsim.run original flow in
-      let got = Oracle.exec_obs (Nicsim.Sim.exec sim) flow in
+      let got = Oracle.exec_obs ?driver (Nicsim.Sim.exec sim) flow in
       match Refsim.diff_obs ~compare_trace:false want got with
       | Some reason ->
         Some
@@ -79,7 +79,12 @@ let churn rng ~fresh_tag ctl =
     in
     Runtime.Controller.insert ctl ~table:tab.name entry
 
-let check ?(telemetry = false) ?sink target (case : Gen.case) =
+(* With [driver = Compiled], every compare round runs the controller's
+   live simulator through the compiled data path — so each tick's deploy
+   (full reconfigure, incremental hot patch, or fault-forced rollback)
+   exercises recompilation against a pipeline that was already compiled
+   for the previous layout. *)
+let check ?(telemetry = false) ?driver ?sink target (case : Gen.case) =
   if not (Oracle.supported case.program) then
     invalid_arg "Chaos.check: program carries optimizer-generated tables";
   let salt = case_salt case in
@@ -100,7 +105,7 @@ let check ?(telemetry = false) ?sink target (case : Gen.case) =
     let rec round r =
       if r > rounds then None
       else
-        match compare_round ~round:r ctl case.packets with
+        match compare_round ?driver ~round:r ctl case.packets with
         | Some d -> Some d
         | None ->
           churn rng ~fresh_tag:r ctl;
@@ -113,6 +118,6 @@ let check ?(telemetry = false) ?sink target (case : Gen.case) =
     | None ->
       (* Convergence: after the last tick (and whatever faults it ate),
          the deployed layout must still forward bit-identically. *)
-      compare_round ~round:(rounds + 1) ctl case.packets
+      compare_round ?driver ~round:(rounds + 1) ctl case.packets
   with e ->
     Some { Oracle.packet_index = -1; reason = "exception: " ^ Printexc.to_string e }

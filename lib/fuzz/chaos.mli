@@ -20,15 +20,24 @@ val rounds : int
 (** Control-loop rounds per case (packet replay + churn + tick). *)
 
 val check :
-  ?telemetry:bool -> ?sink:Telemetry.t -> Costmodel.Target.t -> Gen.case -> Oracle.divergence option
+  ?telemetry:bool ->
+  ?driver:Oracle.exec_driver ->
+  ?sink:Telemetry.t ->
+  Costmodel.Target.t ->
+  Gen.case ->
+  Oracle.divergence option
 (** Run one case; [Some d] when forwarding diverged from the reference
     (the reason is prefixed with the round it happened in) or the
     controller raised. With [telemetry] the simulator carries an enabled
     sink, so the runtime's remediation counters and rollback spans are
-    exercised under fault load too. [sink] overrides that with a
-    caller-owned sink — shared across cases it aggregates the
-    [runtime.remediations.*] counters, which is how [pipeleonc chaos]
-    reports what the injector provoked and the controller repaired.
+    exercised under fault load too. [driver] selects the execution path
+    for every compare round ({!Oracle.exec_obs}); [Compiled] makes each
+    tick's deploy — including fault-forced rollbacks — recompile a
+    pipeline that was already compiled for the previous layout. [sink]
+    overrides the telemetry default with a caller-owned sink — shared
+    across cases it aggregates the [runtime.remediations.*] counters,
+    which is how [pipeleonc chaos] reports what the injector provoked
+    and the controller repaired.
     @raise Invalid_argument if the program carries non-[Regular] tables
     (the reference interpreter cannot model them; generated cases never
     do). *)

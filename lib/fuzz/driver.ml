@@ -17,16 +17,16 @@ let mode_of_string = function
 
 let default_optimizer_config = { Pipeleon.Optimizer.default_config with top_k = 1.0 }
 
-let check ?(optimizer_config = default_optimizer_config) ?mutate ?telemetry target mode
-    (case : Shrink.case) =
+let check ?(optimizer_config = default_optimizer_config) ?mutate ?telemetry ?driver target
+    mode (case : Shrink.case) =
   match mode with
-  | Sim_diff -> Oracle.sim_diff ?telemetry target case.program case.packets
-  | Roundtrip -> Oracle.roundtrip ?telemetry target case.program case.packets
-  | Chaos -> Chaos.check ?telemetry target case
+  | Sim_diff -> Oracle.sim_diff ?telemetry ?driver target case.program case.packets
+  | Roundtrip -> Oracle.roundtrip ?telemetry ?driver target case.program case.packets
+  | Chaos -> Chaos.check ?telemetry ?driver target case
   | Optim_equiv ->
     Oracle.optim_equiv ~config:optimizer_config
       ?mutate:(Option.map (fun (m : Mutate.t) -> m.apply) mutate)
-      ?telemetry target case.profile case.program case.packets
+      ?telemetry ?driver target case.profile case.program case.packets
 
 type finding = {
   case_index : int;
@@ -53,11 +53,12 @@ let case_rng ~seed i =
     Int64.(add (mul (of_int (seed + 1)) 0x9E3779B97F4A7C15L) (of_int i))
 
 let run ?(params = Gen.default_params) ?(n_packets = 64) ?out_dir ?optimizer_config ?mutate
-    ?max_shrink_steps ?telemetry ?(target = Costmodel.Target.bluefield2) mode ~seed ~budget =
+    ?max_shrink_steps ?telemetry ?driver ?(target = Costmodel.Target.bluefield2) mode ~seed
+    ~budget =
   let findings = ref [] in
   for i = 0 to budget - 1 do
     let case = Gen.case ~params ~n_packets (case_rng ~seed i) in
-    let checker = check ?optimizer_config ?mutate ?telemetry target mode in
+    let checker = check ?optimizer_config ?mutate ?telemetry ?driver target mode in
     match checker case with
     | None -> ()
     | Some first ->
@@ -101,6 +102,6 @@ let summary report =
     (Printf.sprintf "divergences=%d cases=%d\n" (List.length report.findings) report.budget);
   Buffer.contents buf
 
-let replay ?optimizer_config ?mutate ?telemetry ?(target = Costmodel.Target.bluefield2) mode
-    ~dir =
-  check ?optimizer_config ?mutate ?telemetry target mode (Repro.load_case ~dir)
+let replay ?optimizer_config ?mutate ?telemetry ?driver
+    ?(target = Costmodel.Target.bluefield2) mode ~dir =
+  check ?optimizer_config ?mutate ?telemetry ?driver target mode (Repro.load_case ~dir)

@@ -29,6 +29,7 @@ val check :
   ?optimizer_config:Pipeleon.Optimizer.config ->
   ?mutate:Mutate.t ->
   ?telemetry:bool ->
+  ?driver:Oracle.exec_driver ->
   Costmodel.Target.t ->
   mode ->
   Shrink.case ->
@@ -37,7 +38,11 @@ val check :
     [Optim_equiv], where it corrupts the optimized program first.
     [telemetry] (default [false]) attaches an enabled {!Telemetry} sink
     to every executor under test, turning each differential check into an
-    observe-only proof for the instrumentation. *)
+    observe-only proof for the instrumentation. [driver] (default
+    [Interp]) selects which execution path carries the packets
+    ({!Oracle.exec_driver}) — fuzzing with [Compiled] differentially
+    tests the compiled data path, including recompilation across the
+    chaos oracle's deploys and rollbacks. *)
 
 type finding = {
   case_index : int;
@@ -64,6 +69,7 @@ val run :
   ?mutate:Mutate.t ->
   ?max_shrink_steps:int ->
   ?telemetry:bool ->
+  ?driver:Oracle.exec_driver ->
   ?target:Costmodel.Target.t ->
   mode ->
   seed:int ->
@@ -82,6 +88,7 @@ val replay :
   ?optimizer_config:Pipeleon.Optimizer.config ->
   ?mutate:Mutate.t ->
   ?telemetry:bool ->
+  ?driver:Oracle.exec_driver ->
   ?target:Costmodel.Target.t ->
   mode ->
   dir:string ->

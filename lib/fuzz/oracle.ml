@@ -27,15 +27,55 @@ let mk_exec ~telemetry target prog =
       (Telemetry.create ~trace_capacity:1024 ~trace_sample_every:7 ());
   ex
 
+type exec_driver = Interp | Batched | Parallel | Compiled
+
+let driver_to_string = function
+  | Interp -> "interp"
+  | Batched -> "batched"
+  | Parallel -> "parallel"
+  | Compiled -> "compiled"
+
+let driver_of_string = function
+  | "interp" -> Some Interp
+  | "batched" -> Some Batched
+  | "parallel" -> Some Parallel
+  | "compiled" -> Some Compiled
+  | _ -> None
+
 (* One packet through a live executor, observed the same way Refsim
-   reports: final field values, drop flag, egress, action trace. *)
-let exec_obs ex flow : Refsim.obs =
+   reports: final field values, drop flag, egress, action trace. The
+   driver picks which execution path carries the packet — they all claim
+   bit-identity with [run_packet], and this observation is where the
+   fuzzer holds them to it. *)
+let exec_obs ?(driver = Interp) ex flow : Refsim.obs =
   let pkt = Nicsim.Packet.of_fields flow in
   let trace = ref [] in
-  Nicsim.Exec.set_tracer ex
-    (Some (fun (e : Nicsim.Exec.trace_event) -> trace := (e.name, e.outcome) :: !trace));
-  ignore (Nicsim.Exec.run_packet ex ~now:0. pkt);
-  Nicsim.Exec.set_tracer ex None;
+  let hook =
+    Some (fun (e : Nicsim.Exec.trace_event) -> trace := (e.name, e.outcome) :: !trace)
+  in
+  (match driver with
+  | Interp ->
+    Nicsim.Exec.set_tracer ex hook;
+    ignore (Nicsim.Exec.run_packet ex ~now:0. pkt);
+    Nicsim.Exec.set_tracer ex None
+  | Compiled ->
+    Nicsim.Exec.set_tracer ex hook;
+    ignore (Nicsim.Exec.run_packet_compiled ex ~now:0. pkt);
+    Nicsim.Exec.set_tracer ex None
+  | Batched ->
+    (* A burst of one: exercises the batch entry points end to end. *)
+    Nicsim.Exec.set_tracer ex hook;
+    ignore (Nicsim.Exec.run_batch ex ~now_of:(fun _ -> 0.) ~out:[| 0. |] [| pkt |]);
+    Nicsim.Exec.set_tracer ex None
+  | Parallel ->
+    (* The sharded window's per-packet shape: a replica executes with the
+       parent's next global sequence number, then merges back. *)
+    let r = Nicsim.Exec.replicate ex in
+    Nicsim.Exec.set_tracer r hook;
+    ignore
+      (Nicsim.Exec.run_packet_at r ~seq:(Nicsim.Exec.packets_seen ex + 1) ~now:0. pkt);
+    Nicsim.Exec.set_tracer r None;
+    Nicsim.Exec.merge_replica ex r);
   { Refsim.fields = List.map (fun f -> (f, Nicsim.Packet.get pkt f)) Refsim.observed_fields;
     dropped = Nicsim.Packet.is_dropped pkt;
     egress = Nicsim.Packet.egress_port pkt;
@@ -54,20 +94,21 @@ let find_diff ?compare_trace pairs =
   in
   go 0 pairs
 
-let sim_diff ?(telemetry = false) target prog packets =
+let sim_diff ?(telemetry = false) ?driver target prog packets =
   if not (supported prog) then
     invalid_arg "Oracle.sim_diff: program carries optimizer-generated tables";
   guard (fun () ->
       let ex = mk_exec ~telemetry target prog in
       find_diff ~compare_trace:true
-        (List.map (fun flow -> (Refsim.run prog flow, exec_obs ex flow)) packets))
+        (List.map (fun flow -> (Refsim.run prog flow, exec_obs ?driver ex flow)) packets))
 
-let replay_diff ?(telemetry = false) target prog_a prog_b packets =
+let replay_diff ?(telemetry = false) ?driver target prog_a prog_b packets =
   guard (fun () ->
       let ex_a = mk_exec ~telemetry target prog_a in
       let ex_b = mk_exec ~telemetry target prog_b in
       find_diff ~compare_trace:false
-        (List.map (fun flow -> (exec_obs ex_a flow, exec_obs ex_b flow)) packets))
+        (List.map (fun flow -> (exec_obs ?driver ex_a flow, exec_obs ?driver ex_b flow))
+           packets))
 
 (* The cost model never picks a ternary merge on current targets — the
    m·l_mat estimate always exceeds separate lookups — so left to the
@@ -121,18 +162,18 @@ let force_ternary_merges prog =
     (fun prog p -> match merge_pair prog p with Some prog' -> prog' | None -> prog)
     prog pipelets
 
-let optim_equiv ?config ?mutate ?telemetry target profile prog packets =
+let optim_equiv ?config ?mutate ?telemetry ?driver target profile prog packets =
   guard (fun () ->
       let result = Pipeleon.Optimizer.optimize ?config target profile prog in
       let optimized = force_ternary_merges result.Pipeleon.Optimizer.program in
       match mutate with
-      | None -> replay_diff ?telemetry target prog optimized packets
+      | None -> replay_diff ?telemetry ?driver target prog optimized packets
       | Some m -> (
         match m optimized with
         | None -> None (* nothing for this mutation to corrupt *)
-        | Some corrupted -> replay_diff ?telemetry target prog corrupted packets))
+        | Some corrupted -> replay_diff ?telemetry ?driver target prog corrupted packets))
 
-let roundtrip ?(telemetry = false) target prog packets =
+let roundtrip ?(telemetry = false) ?driver target prog packets =
   if not (supported prog) then
     invalid_arg "Oracle.roundtrip: program carries optimizer-generated tables";
   guard (fun () ->
@@ -166,14 +207,16 @@ let roundtrip ?(telemetry = false) target prog packets =
             | [] -> None
             | flow :: rest -> (
               let want = Refsim.run prog flow in
-              match Refsim.diff_obs ~compare_trace:true want (exec_obs ex_json flow) with
+              match
+                Refsim.diff_obs ~compare_trace:true want (exec_obs ?driver ex_json flow)
+              with
               | Some reason ->
                 Some { packet_index = i; reason = "json round-trip: " ^ reason }
               | None -> (
                 match
                   Refsim.diff_obs ~compare_trace:true
                     (erase_cond_names prog want)
-                    (erase_cond_names reparsed (exec_obs ex_p4l flow))
+                    (erase_cond_names reparsed (exec_obs ?driver ex_p4l flow))
                 with
                 | Some reason ->
                   Some { packet_index = i; reason = "p4l round-trip: " ^ reason }

@@ -13,16 +13,35 @@ val supported : P4ir.Program.t -> bool
     metadata, so programs already rewritten by Pipeleon are compared
     engine-vs-engine ([replay_diff]) instead. *)
 
-val exec_obs : Nicsim.Exec.t -> Gen.flow -> Refsim.obs
+type exec_driver = Interp | Batched | Parallel | Compiled
+(** Which execution path carries each packet of a differential check:
+    the plain interpreter ({!Nicsim.Exec.run_packet}), a one-packet
+    burst through {!Nicsim.Exec.run_batch}, the sharded-replica shape
+    ({!Nicsim.Exec.replicate} + [run_packet_at] + [merge_replica]), or
+    the compiled data path ({!Nicsim.Exec.run_packet_compiled}). All
+    four claim bit-identical packet outcomes; fuzzing under each driver
+    holds them to it against the reference interpreter. *)
+
+val driver_to_string : exec_driver -> string
+val driver_of_string : string -> exec_driver option
+(** ["interp"], ["batched"], ["parallel"], ["compiled"]. *)
+
+val exec_obs : ?driver:exec_driver -> Nicsim.Exec.t -> Gen.flow -> Refsim.obs
 (** One packet through a live executor, observed the way {!Refsim}
     reports (final fields, drop flag, egress, action trace) so the two
     sides compare with {!Refsim.diff_obs}. The executor is stateful —
     caches fill, counters advance — which is the point: it is the
-    system under test. Used by the oracles here and by {!Chaos}, which
-    needs the observation against a controller-owned simulator. *)
+    system under test. [driver] (default [Interp]) selects the execution
+    path. Used by the oracles here and by {!Chaos}, which needs the
+    observation against a controller-owned simulator. *)
 
 val sim_diff :
-  ?telemetry:bool -> Costmodel.Target.t -> P4ir.Program.t -> Gen.flow list -> divergence option
+  ?telemetry:bool ->
+  ?driver:exec_driver ->
+  Costmodel.Target.t ->
+  P4ir.Program.t ->
+  Gen.flow list ->
+  divergence option
 (** {!Refsim} vs {!Nicsim.Exec} on the same program, comparing final
     field state, drop flag, egress and the per-packet action trace.
     With [telemetry] (default [false]) the executor under test carries
@@ -32,6 +51,7 @@ val sim_diff :
 
 val replay_diff :
   ?telemetry:bool ->
+  ?driver:exec_driver ->
   Costmodel.Target.t ->
   P4ir.Program.t ->
   P4ir.Program.t ->
@@ -47,6 +67,7 @@ val optim_equiv :
   ?config:Pipeleon.Optimizer.config ->
   ?mutate:(P4ir.Program.t -> P4ir.Program.t option) ->
   ?telemetry:bool ->
+  ?driver:exec_driver ->
   Costmodel.Target.t ->
   Profile.t ->
   P4ir.Program.t ->
@@ -63,7 +84,12 @@ val optim_equiv :
     reported as divergences. *)
 
 val roundtrip :
-  ?telemetry:bool -> Costmodel.Target.t -> P4ir.Program.t -> Gen.flow list -> divergence option
+  ?telemetry:bool ->
+  ?driver:exec_driver ->
+  Costmodel.Target.t ->
+  P4ir.Program.t ->
+  Gen.flow list ->
+  divergence option
 (** Serialization oracle: JSON print/parse/print stability, P4-lite
     emit/parse/emit fixpoint, and behavioural equality of the reparsed
     program via {!sim_diff}-style comparison against the original. *)

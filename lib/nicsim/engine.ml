@@ -49,8 +49,25 @@ type shaped = {
   mutable plan_stale : bool;
 }
 
+(* Compiled probe index over an exact-hash store: open addressing keyed
+   by the same mixing hash, entry options preallocated at build so the
+   steady-state probe allocates nothing. Rebuilt lazily after any
+   control-plane mutation ([eidx = None] marks it stale), so the compiled
+   data path always sees live table state. *)
+type xindex = {
+  xmask : int;  (* capacity - 1, capacity a power of two *)
+  xhash : int array;  (* per-slot mixing hash (occupancy lives in xent) *)
+  xvals : int64 array array;  (* per-slot key values *)
+  xent : P4ir.Table.entry option array;  (* preallocated [Some entry] *)
+}
+
+type exact_store = {
+  etbl : (int, slot list) Hashtbl.t;
+  mutable eidx : xindex option;  (* compiled probe index; None = stale *)
+}
+
 type backend =
-  | Exact_hash of (int, slot list) Hashtbl.t
+  | Exact_hash of exact_store
   | Exact_lru of P4ir.Table.entry Lru.t
   | Shaped of shaped
   | Linear of P4ir.Table.entry list ref
@@ -106,11 +123,20 @@ let exact_key_of_values values =
 
 let hash_seed = 0x9E3779B97F4A7C15L
 
+(* Local copy of Stdx.Prng.mix64 (same constants, same bits): keeping
+   the mixer in-module lets the compiler inline it and unbox the whole
+   int64 chain, where the cross-module call boxes its argument and
+   result on every probe. *)
+let[@inline always] mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
 let hash_masked (vals : int64 array) (masks : int64 array) =
   let h = ref hash_seed in
   for i = 0 to Array.length masks - 1 do
     h :=
-      Stdx.Prng.mix64
+      mix64
         (Int64.logxor !h
            (Int64.logand (Array.unsafe_get vals i) (Array.unsafe_get masks i)))
   done;
@@ -119,9 +145,23 @@ let hash_masked (vals : int64 array) (masks : int64 array) =
 let hash_exact (vals : int64 array) =
   let h = ref hash_seed in
   for i = 0 to Array.length vals - 1 do
-    h := Stdx.Prng.mix64 (Int64.logxor !h (Array.unsafe_get vals i))
+    h := mix64 (Int64.logxor !h (Array.unsafe_get vals i))
   done;
   Int64.to_int (Int64.shift_right_logical !h 1)
+
+(* [hash_exact] of a one-element array, with every intermediate in
+   registers. The mixer is expanded by hand rather than calling [mix64]:
+   the non-flambda backend never inlines across a call, and an int64
+   call boxes its argument and result — two allocations per probe on the
+   compiled path's hottest line. Fully chained in one body, every
+   intermediate stays unboxed. Constants and shift counts must match
+   [mix64] (and Stdx.Prng.mix64) bit for bit. *)
+let[@inline always] hash_exact1 (v : int64) =
+  let z = Int64.logxor hash_seed v in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Int64.to_int (Int64.shift_right_logical z 1)
 
 let arrays_equal (a : int64 array) (b : int64 array) =
   let n = Array.length a in
@@ -404,9 +444,10 @@ let plan_lookup (plan : plan) vals m =
 
 let raw_insert t (e : P4ir.Table.entry) =
   match t.backend with
-  | Exact_hash h ->
+  | Exact_hash ex ->
     let masked = Array.of_list (entry_values e) in
-    hash_insert h (hash_exact masked) { masked; entry = e }
+    hash_insert ex.etbl (hash_exact masked) { masked; entry = e };
+    ex.eidx <- None
   | Exact_lru lru -> ignore (Lru.put lru (exact_key_of_entry e) e)
   | Linear entries -> entries := !entries @ [ e ]
   | Shaped s -> shaped_insert s t.table e
@@ -419,7 +460,9 @@ let create (tab : P4ir.Table.t) =
       List.iter (fun e -> ignore (Lru.put lru (exact_key_of_entry e) e)) tab.entries;
       Exact_lru lru
     | _ when has_range tab -> Linear (ref tab.entries)
-    | _ when all_exact tab -> Exact_hash (Hashtbl.create (max 64 (List.length tab.entries)))
+    | _ when all_exact tab ->
+      Exact_hash
+        { etbl = Hashtbl.create (max 64 (List.length tab.entries)); eidx = None }
     | _ ->
       let lpm_ordered =
         P4ir.Match_kind.equal (P4ir.Table.effective_kind tab) P4ir.Match_kind.Lpm
@@ -504,12 +547,96 @@ let shaped_lookup ~use_plan t s pkt =
   end
   else ternary_probe ~skip:use_plan s vals
 
+(* --- compiled exact-probe index --- *)
+
+let build_xindex (ex : exact_store) =
+  let n = Hashtbl.fold (fun _ bucket acc -> acc + List.length bucket) ex.etbl 0 in
+  (* Load factor <= 1/2 keeps linear-probe chains short. *)
+  let cap = ref 8 in
+  while !cap < 2 * n do
+    cap := !cap * 2
+  done;
+  let idx =
+    { xmask = !cap - 1;
+      xhash = Array.make !cap 0;
+      xvals = Array.make !cap [||];
+      xent = Array.make !cap None }
+  in
+  Hashtbl.iter
+    (fun h bucket ->
+      List.iter
+        (fun (s : slot) ->
+          let rec place j =
+            match idx.xent.(j) with
+            | Some _ -> place ((j + 1) land idx.xmask)
+            | None ->
+              idx.xhash.(j) <- h;
+              idx.xvals.(j) <- s.masked;
+              idx.xent.(j) <- Some s.entry
+          in
+          place (h land idx.xmask))
+        bucket)
+    ex.etbl;
+  ex.eidx <- Some idx;
+  idx
+
+(* The probe answers exactly what the hash store's lookup answers (same
+   mixing hash, same full-key disambiguation, same physical entries).
+   Occupancy is the entry option itself — [hash_exact] ranges over the
+   whole native int (bit 62 lands in the sign bit), so no integer
+   sentinel is safe — and a hit returns the slot's preallocated [Some]. *)
+(* The probe loops are top-level recursive functions, not local [rec go]
+   closures: a local closure captures its free variables, which is a
+   fresh block on every probe — the compiled walk's only allocation. *)
+let rec xfind_from idx (vals : int64 array) h j =
+  match Array.unsafe_get idx.xent j with
+  | None -> None
+  | Some _ as r ->
+    if Array.unsafe_get idx.xhash j = h && arrays_equal (Array.unsafe_get idx.xvals j) vals
+    then r
+    else xfind_from idx vals h ((j + 1) land idx.xmask)
+
+let xindex_find idx (vals : int64 array) h = xfind_from idx vals h (h land idx.xmask)
+
+(* Single-key probe: no scratch fill, no array loop — one field read,
+   one inlined mix, one indexed compare. *)
+let rec xfind1_from idx (v : int64) h j =
+  match Array.unsafe_get idx.xent j with
+  | None -> None
+  | Some _ as r ->
+    if
+      Array.unsafe_get idx.xhash j = h
+      && Int64.equal (Array.unsafe_get (Array.unsafe_get idx.xvals j) 0) v
+    then r
+    else xfind1_from idx v h ((j + 1) land idx.xmask)
+
+let xindex_find1 idx (v : int64) =
+  let h = hash_exact1 v in
+  xfind1_from idx v h (h land idx.xmask)
+
+let exact_probe t =
+  match t.backend with
+  | Exact_hash ex ->
+    Some
+      (if Array.length t.fields = 1 then begin
+         let field = t.fields.(0) in
+         fun pkt ->
+           let idx = match ex.eidx with Some idx -> idx | None -> build_xindex ex in
+           xindex_find1 idx (Packet.get pkt field)
+       end
+       else
+         fun pkt ->
+           let idx = match ex.eidx with Some idx -> idx | None -> build_xindex ex in
+           let vals = read_values t pkt in
+           xindex_find idx vals (hash_exact vals))
+  | Exact_lru _ | Shaped _ | Linear _ -> None
+
 let lookup_gen ~use_plan t pkt =
   match t.backend with
-  | Exact_hash h ->
+  | Exact_hash ex ->
     let vals = read_values t pkt in
     let res =
-      match Hashtbl.find_opt h (hash_exact vals) with
+      match Hashtbl.find_opt ex.etbl (hash_exact vals) with
       | None -> None
       | Some bucket -> (
         match exact_bucket_find vals bucket with
@@ -539,7 +666,7 @@ let delete t ~patterns =
   let matches (e : P4ir.Table.entry) = List.for_all2 P4ir.Pattern.equal e.patterns patterns in
   let removed = ref false in
   (match t.backend with
-   | Exact_hash h ->
+   | Exact_hash ex ->
      let vals =
        Array.of_list
          (List.map
@@ -549,12 +676,14 @@ let delete t ~patterns =
             patterns)
      in
      let key = hash_exact vals in
-     (match Hashtbl.find_opt h key with
+     (match Hashtbl.find_opt ex.etbl key with
       | Some bucket ->
         let survivors = List.filter (fun s -> not (exact_slot_matches vals s)) bucket in
         if List.length survivors < List.length bucket then begin
           removed := true;
-          if survivors = [] then Hashtbl.remove h key else Hashtbl.replace h key survivors
+          ex.eidx <- None;
+          if survivors = [] then Hashtbl.remove ex.etbl key
+          else Hashtbl.replace ex.etbl key survivors
         end
       | None -> ())
    | Exact_lru lru ->
@@ -601,8 +730,9 @@ let delete t ~patterns =
 let load_entries t new_entries =
   List.iter (validate_entry t) new_entries;
   match t.backend with
-  | Exact_hash h ->
-    Hashtbl.reset h;
+  | Exact_hash ex ->
+    Hashtbl.reset ex.etbl;
+    ex.eidx <- None;
     List.iter (raw_insert t) new_entries
   | Exact_lru lru ->
     Lru.clear lru;
@@ -620,8 +750,8 @@ let replace_all t new_entries =
 
 let entries t =
   match t.backend with
-  | Exact_hash h ->
-    Hashtbl.fold (fun _ bucket acc -> List.map (fun s -> s.entry) bucket @ acc) h []
+  | Exact_hash ex ->
+    Hashtbl.fold (fun _ bucket acc -> List.map (fun s -> s.entry) bucket @ acc) ex.etbl []
   | Exact_lru lru ->
     let acc = ref [] in
     Lru.iter (fun _ e -> acc := e :: !acc) lru;
@@ -652,7 +782,7 @@ let copy t =
   let copy_group (g : group) = { g with tbl = Hashtbl.copy g.tbl } in
   let backend =
     match t.backend with
-    | Exact_hash h -> Exact_hash (Hashtbl.copy h)
+    | Exact_hash ex -> Exact_hash { etbl = Hashtbl.copy ex.etbl; eidx = None }
     | Exact_lru lru -> Exact_lru (Lru.copy lru)
     | Linear entries -> Linear (ref !entries)
     | Shaped s ->
@@ -688,7 +818,9 @@ let cache_fill t ~now e =
 let invalidate t =
   match t.backend with
   | Exact_lru lru -> Lru.clear lru
-  | Exact_hash h -> Hashtbl.reset h
+  | Exact_hash ex ->
+    Hashtbl.reset ex.etbl;
+    ex.eidx <- None
   | Linear entries -> entries := []
   | Shaped s ->
     s.groups <- [||];

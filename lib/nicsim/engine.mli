@@ -28,6 +28,17 @@ val lookup_linear : t -> Packet.t -> P4ir.Table.entry option * int
     straight-line reference probe. Used by tests and the differential
     fuzzer to check the plan against the model it compiles. *)
 
+val exact_probe : t -> (Packet.t -> P4ir.Table.entry option) option
+(** [Some probe] iff this engine is an exact-hash store (every key
+    [Exact], not cache-role). [probe pkt] returns exactly what {!lookup}
+    would — the same physical entry objects, always one memory access —
+    through an open-addressing index that allocates nothing per probe.
+    The probe reads live table state: {!insert}, {!delete},
+    {!replace_all}, {!load_entries} and {!invalidate} mark the index
+    stale and the next probe rebuilds it, so a captured probe closure
+    stays valid across control-plane updates. [None] for cache, shaped
+    and linear backends, which must keep going through {!lookup}. *)
+
 val insert : t -> P4ir.Table.entry -> unit
 (** Control-plane insert; bumps the update counter.
     @raise Invalid_argument if the entry does not fit the table. *)

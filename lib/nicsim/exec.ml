@@ -46,13 +46,14 @@ type t = {
   mutable tracer : (trace_event -> unit) option;
   mutable tel : Telemetry.t;
   mutable tel_handles : exec_tel option;  (* Some iff [tel] is enabled *)
+  (* The compiled data path. [None] until first compiled-driver use;
+     [compiled_stale] forces a rebuild (with per-table artifact reuse)
+     on the next use. *)
+  mutable compiled : Compile.t option;
+  mutable compiled_stale : bool;
 }
 
-let node_cat (tab : P4ir.Table.t) =
-  match tab.role with
-  | P4ir.Table.Cache _ -> "cache"
-  | P4ir.Table.Merged _ -> "merged"
-  | _ -> "table"
+let node_cat = Compile.node_cat
 
 let build_tel_handles tel prog =
   if not (Telemetry.enabled tel) then None
@@ -83,7 +84,8 @@ let create cfg prog =
       Hashtbl.replace node_engine id e)
     (P4ir.Program.tables prog);
   { cfg; prog; engines; node_engine; ctrs = Profile.Counter.create (); seen = 0; drops = 0;
-    tracer = None; tel = Telemetry.null; tel_handles = None }
+    tracer = None; tel = Telemetry.null; tel_handles = None; compiled = None;
+    compiled_stale = true }
 
 let program t = t.prog
 let config t = t.cfg
@@ -98,7 +100,13 @@ let engine_exn t name =
 let packets_seen t = t.seen
 let drops_seen t = t.drops
 
-let reset_counters t = Profile.Counter.clear t.ctrs
+let reset_counters t =
+  Profile.Counter.clear t.ctrs;
+  (* Clearing discards the registry's int64 slots, orphaning any
+     compiled counter cells; drop the compiled pipeline entirely so
+     the next compiled run re-resolves against the fresh slots. *)
+  t.compiled <- None;
+  t.compiled_stale <- true
 
 let set_tracer t hook = t.tracer <- hook
 
@@ -106,7 +114,8 @@ let telemetry t = t.tel
 
 let set_telemetry t tel =
   t.tel <- tel;
-  t.tel_handles <- build_tel_handles tel t.prog
+  t.tel_handles <- build_tel_handles tel t.prog;
+  t.compiled_stale <- true
 
 let trace t node name outcome =
   match t.tracer with
@@ -117,19 +126,7 @@ let core_factor (target : Costmodel.Target.t) = function
   | Costmodel.Cost.Asic -> 1.0
   | Costmodel.Cost.Cpu -> target.cpu_slowdown
 
-let apply_primitive pkt (p : P4ir.Action.primitive) =
-  match p with
-  | P4ir.Action.Set_field (f, v) -> Packet.set pkt f v
-  | P4ir.Action.Set_from (dst, src) -> Packet.set pkt dst (Packet.get pkt src)
-  | P4ir.Action.Add_const (f, v) -> Packet.set pkt f (Int64.add (Packet.get pkt f) v)
-  | P4ir.Action.Dec_ttl ->
-    let ttl = Packet.get pkt P4ir.Field.Ipv4_ttl in
-    if Int64.compare ttl 0L > 0 then Packet.set pkt P4ir.Field.Ipv4_ttl (Int64.sub ttl 1L)
-  | P4ir.Action.Forward port -> Packet.set_egress pkt port
-  | P4ir.Action.Drop -> Packet.mark_dropped pkt
-  | P4ir.Action.Nop -> ()
-
-let apply_action pkt (a : P4ir.Action.t) = List.iter (apply_primitive pkt) a.prims
+let apply_action = Compile.apply_action
 
 let cache_key_patterns (tab : P4ir.Table.t) pkt =
   List.map
@@ -336,6 +333,66 @@ let run_batch t ?(pos = 0) ?n ~now_of ~out pkts =
   done;
   !dropped
 
+(* --- compiled data path --- *)
+
+let ensure_compiled t =
+  match t.compiled with
+  | Some c when not t.compiled_stale -> c
+  | reuse_opt ->
+    let reuse = if t.compiled_stale then reuse_opt else None in
+    let c =
+      Compile.build ?reuse ~target:t.cfg.target ~placement:t.cfg.placement ~counters:t.ctrs
+        ~telemetry:t.tel
+        ~engine_of:(fun id -> Hashtbl.find t.node_engine id)
+        t.prog
+    in
+    t.compiled <- Some c;
+    t.compiled_stale <- false;
+    c
+
+let precompile t =
+  let c = ensure_compiled t in
+  (Compile.tables_reused c, Compile.tables_rebuilt c)
+
+let compiled_tracer t =
+  match t.tracer with
+  | None -> None
+  | Some f -> Some (fun node name outcome -> f { node; name; outcome })
+
+let run_packet_compiled t ~now pkt =
+  let c = ensure_compiled t in
+  t.seen <- t.seen + 1;
+  let lat =
+    Compile.run c ~tracer:(compiled_tracer t) ~sampled:(sampled_at t t.seen) ~seq:t.seen
+      ~now pkt
+  in
+  if Compile.drop_observed c then t.drops <- t.drops + 1;
+  lat
+
+let run_packet_compiled_at t ~seq ~now pkt =
+  let c = ensure_compiled t in
+  t.seen <- t.seen + 1;
+  let lat = Compile.run c ~tracer:(compiled_tracer t) ~sampled:(sampled_at t seq) ~seq ~now pkt in
+  if Compile.drop_observed c then t.drops <- t.drops + 1;
+  lat
+
+let run_batch_compiled t ?(pos = 0) ?n ~now_of ~out pkts =
+  let n = match n with Some n -> n | None -> Array.length pkts in
+  if pos < 0 || pos + n > Array.length out then
+    invalid_arg "Exec.run_batch_compiled: out too small";
+  let c = ensure_compiled t in
+  let tracer = compiled_tracer t in
+  let dropped = ref 0 in
+  for i = 0 to n - 1 do
+    t.seen <- t.seen + 1;
+    let pkt = Array.unsafe_get pkts i in
+    out.(pos + i) <-
+      Compile.run c ~tracer ~sampled:(sampled_at t t.seen) ~seq:t.seen ~now:(now_of i) pkt;
+    if Compile.drop_observed c then t.drops <- t.drops + 1;
+    if Packet.is_dropped pkt then incr dropped
+  done;
+  !dropped
+
 let replicate t =
   (* Distinct program nodes can share one engine by name; preserve that
      aliasing in the copy so a fill through either node stays coherent. *)
@@ -364,7 +421,11 @@ let replicate t =
     drops = 0;
     tracer = None;
     tel;
-    tel_handles = build_tel_handles tel t.prog }
+    tel_handles = build_tel_handles tel t.prog;
+    (* The replica has its own engines, counters, and sink; it compiles
+       its own pipeline on first compiled use. *)
+    compiled = None;
+    compiled_stale = true }
 
 let merge_replica t r =
   Profile.Counter.merge_into ~dst:t.ctrs ~src:r.ctrs;
@@ -402,6 +463,13 @@ let replace_program t prog =
   Hashtbl.iter (Hashtbl.replace t.engines) new_engines;
   t.prog <- prog;
   t.tel_handles <- build_tel_handles t.tel prog;
+  (* This IS deploy time for the compiled data path: recompile now, with
+     per-table artifact reuse keyed on the engines kept above, so the
+     packet path never pays the flattening. Only done when the compiled
+     path is actually in use — interpreter-only executors stay lazy.
+     Recompilation is host-side work; it adds no modeled downtime. *)
+  t.compiled_stale <- true;
+  (match t.compiled with Some _ -> ignore (ensure_compiled t) | None -> ());
   !changed
 
 let sync_entries_to_ir t =

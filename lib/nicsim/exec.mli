@@ -49,13 +49,54 @@ val run_batch :
   out:float array ->
   Packet.t array ->
   int
-(** Process a burst: packets [0 .. n-1] of the array (default all), with
-    packet [i] timestamped [now_of i] and its latency written to
-    [out.(pos + i)] (default [pos = 0]). Per-burst work (program root,
-    entry-core placement) is hoisted out of the per-packet path. Returns
-    the number of packets dropped in the burst. Semantically identical to
-    [n] calls to {!run_packet}.
+(** Process a burst interpretively: packets [0 .. n-1] of the array
+    (default all), with packet [i] timestamped [now_of i] and its
+    latency written to [out.(pos + i)] (default [pos = 0]). Per-burst
+    work (program root, entry-core placement) is hoisted out of the
+    per-packet path; each packet still walks the program DAG through the
+    interpreter, so results are bit-identical to [n] calls to
+    {!run_packet}. Packet [i] takes the executor's next global sequence
+    number ([packets_seen + 1] at its turn), which keys both counter
+    sampling ([instrumented && seq mod sample_rate = 0]) and telemetry
+    trace sampling — the batched, compiled
+    ({!run_batch_compiled}), and sharded ({!run_packet_at}) drivers all
+    sample exactly the packets the sequential loop would.
     @raise Invalid_argument if [out] cannot hold the burst. *)
+
+val run_batch_compiled :
+  t ->
+  ?pos:int ->
+  ?n:int ->
+  now_of:(int -> float) ->
+  out:float array ->
+  Packet.t array ->
+  int
+(** {!run_batch} over the compiled data path: the deployed program is
+    flattened once ({!Compile}) into a linear op array with resolved
+    successors, per-table action artifacts, pre-resolved counter cells
+    and telemetry handles; packets then execute by array walk instead of
+    DAG interpretation, allocation-free in steady state. Latencies,
+    profile counters, telemetry (hit/miss counters, packets/drops,
+    sampled spans), flow-cache fills, and tracer callbacks are all
+    bit-identical to {!run_batch} — same floats, same counts, same
+    sampling sequence. The pipeline is compiled lazily on first use and
+    recompiled (reusing unchanged tables' artifacts) after
+    {!replace_program}, {!set_telemetry}, or {!reset_counters}.
+    @raise Invalid_argument if [out] cannot hold the burst. *)
+
+val run_packet_compiled : t -> now:float -> Packet.t -> float
+(** One packet through the compiled data path; bit-identical to
+    {!run_packet}. *)
+
+val run_packet_compiled_at : t -> seq:int -> now:float -> Packet.t -> float
+(** Compiled counterpart of {!run_packet_at}: the sampling decision uses
+    the given global sequence number (sharded replicas). *)
+
+val precompile : t -> int * int
+(** Force compilation of the data path now (normally lazy on first
+    compiled run) and return [(tables_reused, tables_rebuilt)] for the
+    most recent compile — after an incremental {!replace_program},
+    [tables_reused] counts the per-table artifacts carried over. *)
 
 val replicate : t -> t
 (** Deep copy for a worker domain: engines are independently copied

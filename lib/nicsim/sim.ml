@@ -5,6 +5,7 @@ type t = {
   mutable counter_baseline : Profile.Counter.t;
   mutable last_profile_time : float;
   mutable lat_scratch : float array;  (* reused latency buffer, one slot per packet *)
+  mutable burst_scratch : Packet.t array;  (* reused burst buffer (compiled driver) *)
   lat_hist : Telemetry.Histogram.t;  (* per-window latency histogram, reset in [finish] *)
   mutable deploy_fault : (unit -> string option) option;
       (* consulted after a reconfigure/hot_patch lands; Some reason vetoes
@@ -23,6 +24,7 @@ let create ?config ?telemetry tgt prog =
     counter_baseline = Profile.Counter.create ();
     last_profile_time = 0.;
     lat_scratch = [||];
+    burst_scratch = [||];
     lat_hist = Telemetry.Histogram.create ();
     deploy_fault = None }
 
@@ -72,7 +74,10 @@ let finish t ~start ~duration ~packets ~drops latencies =
     Telemetry.Histogram.record hist v
   done;
   let avg = !sum /. float_of_int packets in
-  Array.sort Float.compare latencies;
+  (* Monomorphic float sort: Array.sort Float.compare boxes both floats
+     on every comparison. Same sorted values (latencies are NaN-free),
+     so the percentiles are bit-identical. *)
+  Stdx.Fsort.sort latencies;
   let p99 = latencies.(min (packets - 1) (packets * 99 / 100)) in
   let tel = Exec.telemetry t.ex in
   let throughput = Costmodel.Target.throughput_gbps t.tgt ~latency:avg in
@@ -125,12 +130,21 @@ let run_window t ~duration ~packets ~source =
 
 let default_batch = 64
 
-let run_window_batched ?(batch = default_batch) t ~duration ~packets ~source =
-  if packets <= 0 then invalid_arg "Sim.run_window_batched: packets must be positive";
-  if batch <= 0 then invalid_arg "Sim.run_window_batched: batch must be positive";
+(* Exact-size reusable burst buffer, same rationale as [scratch]: a
+   steady-state window loop allocates it once, keeping the compiled
+   driver's per-window allocations at zero. *)
+let burst_buf t n =
+  if Array.length t.burst_scratch <> n then
+    t.burst_scratch <- Array.make n (Packet.create ());
+  t.burst_scratch
+
+let batched_loop ~fname ~compiled ~batch t ~duration ~packets ~source =
+  if packets <= 0 then invalid_arg (fname ^ ": packets must be positive");
+  if batch <= 0 then invalid_arg (fname ^ ": batch must be positive");
   let start = t.clock in
   let latencies = scratch t packets in
-  let burst = Array.make (min batch packets) (Packet.create ()) in
+  let burst = burst_buf t (min batch packets) in
+  let run_batch = if compiled then Exec.run_batch_compiled else Exec.run_batch in
   let drops = ref 0 in
   let pos = ref 0 in
   while !pos < packets do
@@ -143,12 +157,19 @@ let run_window_batched ?(batch = default_batch) t ~duration ~packets ~source =
     let base = !pos in
     drops :=
       !drops
-      + Exec.run_batch t.ex ~pos:base ~n
+      + run_batch t.ex ~pos:base ~n
           ~now_of:(fun i -> packet_time ~start ~duration ~packets (base + i))
           ~out:latencies burst;
     pos := base + n
   done;
   finish t ~start ~duration ~packets ~drops:!drops latencies
+
+let run_window_batched ?(batch = default_batch) ?(compiled = false) t ~duration ~packets ~source =
+  batched_loop ~fname:"Sim.run_window_batched" ~compiled ~batch t ~duration ~packets ~source
+
+let run_window_compiled ?(batch = default_batch) t ~duration ~packets ~source =
+  batched_loop ~fname:"Sim.run_window_compiled" ~compiled:true ~batch t ~duration ~packets
+    ~source
 
 let has_cache_tables prog =
   List.exists
@@ -168,7 +189,7 @@ let flow_shard pkt ~domains =
   mix P4ir.Field.Tcp_dport;
   Int64.to_int (Int64.rem (Int64.shift_right_logical !h 1) (Int64.of_int domains))
 
-let run_window_parallel ?domains t ~duration ~packets ~source =
+let run_window_parallel ?domains ?(compiled = false) t ~duration ~packets ~source =
   if packets <= 0 then invalid_arg "Sim.run_window_parallel: packets must be positive";
   let domains =
     match domains with
@@ -180,7 +201,8 @@ let run_window_parallel ?domains t ~duration ~packets ~source =
      fills), which sharded replicas cannot reproduce faithfully; those
      programs run sequentially. So do degenerate shardings. *)
   if domains = 1 || packets < 2 * domains || has_cache_tables (Exec.program t.ex) then
-    run_window t ~duration ~packets ~source
+    if compiled then run_window_compiled t ~duration ~packets ~source
+    else run_window t ~duration ~packets ~source
   else begin
     let start = t.clock in
     let latencies = scratch t packets in
@@ -205,7 +227,10 @@ let run_window_parallel ?domains t ~duration ~packets ~source =
       fill.(s) <- fill.(s) + 1
     done;
     let base_seen = Exec.packets_seen t.ex in
+    let run_at = if compiled then Exec.run_packet_compiled_at else Exec.run_packet_at in
     let run_shard s () =
+      (* Each replica compiles its own op array on first use — the
+         compiled pipeline holds engine handles, which are per-replica. *)
       let replica = Exec.replicate t.ex in
       let indices = shards.(s) in
       for j = 0 to shard_sizes.(s) - 1 do
@@ -214,7 +239,7 @@ let run_window_parallel ?domains t ~duration ~packets ~source =
            race-free; the global sequence number pins the sampling
            pattern to the packet's window position, not arrival order. *)
         latencies.(i) <-
-          Exec.run_packet_at replica ~seq:(base_seen + i + 1)
+          run_at replica ~seq:(base_seen + i + 1)
             ~now:(packet_time ~start ~duration ~packets i)
             pkts.(i)
       done;

@@ -61,6 +61,7 @@ val run_window :
 
 val run_window_batched :
   ?batch:int ->
+  ?compiled:bool ->
   t ->
   duration:float ->
   packets:int ->
@@ -69,10 +70,30 @@ val run_window_batched :
 (** {!run_window} processing packets in bursts of [batch] (default 64)
     via {!Exec.run_batch}, amortizing per-packet dispatch. The source is
     called in the same order, every packet gets the same timestamp, and
-    the resulting stats and counters are bit-identical to {!run_window}. *)
+    the resulting stats and counters are bit-identical to {!run_window}.
+    With [compiled] (default false) the bursts go through
+    {!Exec.run_batch_compiled} instead — same identity guarantee. *)
+
+val run_window_compiled :
+  ?batch:int ->
+  t ->
+  duration:float ->
+  packets:int ->
+  source:(unit -> Packet.t) ->
+  window_stats
+(** {!run_window} over the compiled data path: bursts of [batch]
+    (default 64) execute via {!Exec.run_batch_compiled} — the program
+    flattened at deploy time into a linear op array ({!Compile}) —
+    reusing a persistent burst buffer, so a steady-state window loop
+    allocates nothing per window. Stats, counters, telemetry, and
+    per-packet latencies are bit-identical to {!run_window}. The
+    pipeline compiles lazily on first use; {!reconfigure} and
+    {!hot_patch} keep it coherent (rebuilt tables recompile, unchanged
+    tables keep their compiled artifacts). *)
 
 val run_window_parallel :
   ?domains:int ->
+  ?compiled:bool ->
   t ->
   duration:float ->
   packets:int ->
@@ -85,7 +106,10 @@ val run_window_parallel :
     replicas, and merged order-independently — stats and counters are
     bit-identical to the sequential run. Programs with cache-role tables
     (whose per-packet LRU mutation sharding cannot reproduce) and
-    degenerate shardings fall back to the sequential path.
+    degenerate shardings fall back to the sequential path. With
+    [compiled] (default false), each replica runs the compiled data path
+    (compiling its own op array over its replicated engines), and the
+    fallback path is {!run_window_compiled}.
     @raise Invalid_argument if [domains <= 0] or [packets <= 0]. *)
 
 val insert : t -> table:string -> P4ir.Table.entry -> unit

@@ -12,6 +12,22 @@ type key = { owner : string; label : string }
 val create : unit -> t
 val clear : t -> unit
 val incr : ?by:int64 -> t -> owner:string -> label:string -> unit
+
+type cell
+(** A pre-resolved counter handle: one hash probe at resolution time,
+    an allocation-free int add per increment. Used by the compiled data path,
+    which resolves every (table, action) and (branch, outcome) pair at
+    deploy time. Resolving a cell registers a zero-valued entry, which
+    no reader observes ({!dump} filters zeros, {!diff} keeps positive
+    deltas only), so unfired cells never change a dump.
+
+    Cells are invalidated by {!clear} (the underlying slots are
+    discarded); re-resolve after clearing. *)
+
+val cell : t -> owner:string -> label:string -> cell
+
+(** [cell_incr c] is equivalent to {!incr} with [by = 1L] on [c]'s key. *)
+val cell_incr : cell -> unit
 val get : t -> owner:string -> label:string -> int64
 val owner_total : t -> string -> int64
 (** Sum over all labels of one owner. *)

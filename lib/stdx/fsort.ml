@@ -1,0 +1,72 @@
+(* In-place float sort, monomorphic on [float array]. [Array.sort
+   Float.compare] on a float array boxes both elements on every
+   comparison (polymorphic array access) and pays an indirect call; at
+   ~log n comparisons per element that dominates a hot aggregation loop.
+   This quicksort's accesses are unboxed because the element type is
+   statically float.
+
+   Median-of-three pivot, recursion on the smaller partition only (the
+   larger side loops), insertion sort below a cutoff. NaNs are not
+   handled (callers sort latencies, which are finite); equal elements
+   may be reordered, which no caller can observe — equal floats are
+   identical bit patterns here (no negative zeros in latency data). *)
+
+let cutoff = 16
+
+let insertion (a : float array) lo hi =
+  for i = lo + 1 to hi do
+    let v = Array.unsafe_get a i in
+    let j = ref (i - 1) in
+    while !j >= lo && Array.unsafe_get a !j > v do
+      Array.unsafe_set a (!j + 1) (Array.unsafe_get a !j);
+      decr j
+    done;
+    Array.unsafe_set a (!j + 1) v
+  done
+
+let swap (a : float array) i j =
+  let t = Array.unsafe_get a i in
+  Array.unsafe_set a i (Array.unsafe_get a j);
+  Array.unsafe_set a j t
+
+(* Hoare partition around a median-of-three pivot value. *)
+let partition (a : float array) lo hi =
+  let mid = lo + ((hi - lo) / 2) in
+  if Array.unsafe_get a mid < Array.unsafe_get a lo then swap a mid lo;
+  if Array.unsafe_get a hi < Array.unsafe_get a lo then swap a hi lo;
+  if Array.unsafe_get a hi < Array.unsafe_get a mid then swap a hi mid;
+  let pivot = Array.unsafe_get a mid in
+  let i = ref (lo - 1) and j = ref (hi + 1) in
+  let break = ref (-1) in
+  while !break < 0 do
+    incr i;
+    while Array.unsafe_get a !i < pivot do
+      incr i
+    done;
+    decr j;
+    while Array.unsafe_get a !j > pivot do
+      decr j
+    done;
+    if !i >= !j then break := !j else swap a !i !j
+  done;
+  !break
+
+let rec qsort (a : float array) lo hi =
+  if hi - lo >= cutoff then begin
+    let m = partition a lo hi in
+    (* Recurse into the smaller half; tail-loop on the larger one so the
+       stack stays O(log n) whatever the input order. *)
+    if m - lo < hi - m then begin
+      qsort a lo m;
+      qsort a (m + 1) hi
+    end
+    else begin
+      qsort a (m + 1) hi;
+      qsort a lo m
+    end
+  end
+  else if hi > lo then insertion a lo hi
+
+let sort (a : float array) =
+  let n = Array.length a in
+  if n > 1 then qsort a 0 (n - 1)

@@ -1,0 +1,9 @@
+(** In-place ascending sort specialized to [float array].
+
+    Same ordering as [Array.sort Float.compare] on NaN-free data, without
+    the per-comparison boxing and indirect calls the polymorphic sort
+    pays on float arrays. Equal elements may be reordered (unstable),
+    which is unobservable on floats. NaNs are not supported: their
+    position in the result is unspecified. *)
+
+val sort : float array -> unit

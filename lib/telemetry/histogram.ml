@@ -11,15 +11,24 @@ let e_min = -64
 let e_max = 64
 let octaves = e_max - e_min
 
+(* sum/min/max live in a floatarray rather than mutable float fields: in
+   a mixed record (without flambda) every store to a mutable float field
+   allocates a fresh box and runs the write barrier, and [record] fires
+   once per packet in the simulator's window loop. Floatarray stores are
+   guaranteed unboxed. Slots: 0 = sum, 1 = min, 2 = max. *)
 type t = {
   sbits : int;
   sub : int;  (* 1 lsl sbits *)
   counts : int array;  (* 1 zero-bucket + octaves * sub log buckets *)
   mutable total : int;
-  mutable sum : float;
-  mutable min_v : float;
-  mutable max_v : float;
+  fstats : floatarray;
 }
+
+let fresh_fstats () =
+  let a = Float.Array.make 3 0. in
+  Float.Array.set a 1 infinity;
+  Float.Array.set a 2 neg_infinity;
+  a
 
 let create ?(sub_bits = 5) () =
   if sub_bits < 0 || sub_bits > 10 then invalid_arg "Histogram.create: sub_bits out of range";
@@ -28,17 +37,15 @@ let create ?(sub_bits = 5) () =
     sub;
     counts = Array.make (1 + (octaves * sub)) 0;
     total = 0;
-    sum = 0.;
-    min_v = infinity;
-    max_v = neg_infinity }
+    fstats = fresh_fstats () }
 
 let sub_bits t = t.sbits
 let relative_error t = 1. /. float_of_int t.sub
 let count t = t.total
-let sum t = t.sum
-let mean t = if t.total = 0 then nan else t.sum /. float_of_int t.total
-let min_value t = if t.total = 0 then nan else t.min_v
-let max_value t = if t.total = 0 then nan else t.max_v
+let sum t = Float.Array.get t.fstats 0
+let mean t = if t.total = 0 then nan else Float.Array.get t.fstats 0 /. float_of_int t.total
+let min_value t = if t.total = 0 then nan else Float.Array.get t.fstats 1
+let max_value t = if t.total = 0 then nan else Float.Array.get t.fstats 2
 
 (* Allocation-free equivalent of the frexp formulation: for a normal
    v = (1.f) x 2^(E-1023), frexp's exponent is E - 1022 and
@@ -71,10 +78,11 @@ let record_n t v ~n =
     (* [bucket_index] clamps k into [0, length). *)
     Array.unsafe_set t.counts k (Array.unsafe_get t.counts k + n);
     t.total <- t.total + n;
-    t.sum <- t.sum +. (v *. float_of_int n);
+    let fs = t.fstats in
+    Float.Array.unsafe_set fs 0 (Float.Array.unsafe_get fs 0 +. (v *. float_of_int n));
     (* NaN comparisons are false, so NaN samples leave min/max alone. *)
-    if v < t.min_v then t.min_v <- v;
-    if v > t.max_v then t.max_v <- v
+    if v < Float.Array.unsafe_get fs 1 then Float.Array.unsafe_set fs 1 v;
+    if v > Float.Array.unsafe_get fs 2 then Float.Array.unsafe_set fs 2 v
   end
 
 let record t v = record_n t v ~n:1
@@ -98,12 +106,13 @@ let quantile t q =
     let q = Float.max 0. (Float.min 1. q) in
     let target = max 1 (int_of_float (Float.ceil (q *. float_of_int t.total))) in
     let n = Array.length t.counts in
+    let max_v = Float.Array.get t.fstats 2 in
     let rec go k cum =
-      if k >= n then t.max_v
+      if k >= n then max_v
       else
         let cum = cum + t.counts.(k) in
         if cum >= target then
-          if k = 0 then 0. else Float.min (bucket_hi t k) t.max_v
+          if k = 0 then 0. else Float.min (bucket_hi t k) max_v
         else go (k + 1) cum
     in
     go 0 0
@@ -116,18 +125,22 @@ let merge_into ~dst ~src =
     if c <> 0 then dst.counts.(k) <- dst.counts.(k) + c
   done;
   dst.total <- dst.total + src.total;
-  dst.sum <- dst.sum +. src.sum;
-  if src.min_v < dst.min_v then dst.min_v <- src.min_v;
-  if src.max_v > dst.max_v then dst.max_v <- src.max_v
+  let d = dst.fstats and s = src.fstats in
+  Float.Array.set d 0 (Float.Array.get d 0 +. Float.Array.get s 0);
+  if Float.Array.get s 1 < Float.Array.get d 1 then Float.Array.set d 1 (Float.Array.get s 1);
+  if Float.Array.get s 2 > Float.Array.get d 2 then Float.Array.set d 2 (Float.Array.get s 2)
 
 let clear t =
   Array.fill t.counts 0 (Array.length t.counts) 0;
   t.total <- 0;
-  t.sum <- 0.;
-  t.min_v <- infinity;
-  t.max_v <- neg_infinity
+  Float.Array.set t.fstats 0 0.;
+  Float.Array.set t.fstats 1 infinity;
+  Float.Array.set t.fstats 2 neg_infinity
 
-let copy t = { t with counts = Array.copy t.counts }
+let copy t =
+  { t with
+    counts = Array.copy t.counts;
+    fstats = Float.Array.copy t.fstats }
 
 let bucket_counts t = Array.copy t.counts
 

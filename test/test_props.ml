@@ -200,10 +200,12 @@ let test_window_drivers_identical =
     (fun (seed, packets) ->
       let seq = driver_fixture seed packets Nicsim.Sim.run_window in
       let batched =
-        driver_fixture seed packets (Nicsim.Sim.run_window_batched ~batch:5)
+        driver_fixture seed packets (fun sim ->
+            Nicsim.Sim.run_window_batched ~batch:5 sim)
       in
       let par =
-        driver_fixture seed packets (Nicsim.Sim.run_window_parallel ~domains:3)
+        driver_fixture seed packets (fun sim ->
+            Nicsim.Sim.run_window_parallel ~domains:3 sim)
       in
       seq = batched && seq = par)
 
