@@ -291,7 +291,15 @@ let fuzz_cmd =
              ~doc:"Run the optimizer's local search across domains (the fast path); \
                    plans must stay identical to the sequential reference.")
   in
-  let run mode seed budget packets out mutant replay parallel telemetry driver target =
+  let rules_arg =
+    Arg.(value & opt (some int) None
+         & info [ "rules" ] ~docv:"N"
+             ~doc:"Rule-scale mode: give every generated table N/2..N entries (single-key \
+                   tables, 24-bit values, pooled ternary masks, no range tables) so \
+                   sim-diff exercises the large-table engine backends — learned-index \
+                   LPM and decision-tree ternary (docs/PERF.md \"Rule-scale backends\").")
+  in
+  let run mode seed budget packets out mutant replay parallel telemetry driver target rules =
     let mutate =
       Option.map
         (fun name ->
@@ -326,9 +334,19 @@ let fuzz_cmd =
         exit 1)
     | None ->
       let out_dir = if out = "none" then None else Some out in
+      let params =
+        Option.map
+          (fun n ->
+            { Fuzz.Gen.default_params with
+              Fuzz.Gen.rules = Some (max 1 n);
+              value_bits = 24;
+              max_keys = 1;
+              allow_range = false })
+          rules
+      in
       report_findings
-        (Fuzz.Driver.run ?out_dir ?optimizer_config ?mutate ~n_packets:packets ~telemetry
-           ~driver ~target mode ~seed ~budget)
+        (Fuzz.Driver.run ?out_dir ?optimizer_config ?mutate ?params ~n_packets:packets
+           ~telemetry ~driver ~target mode ~seed ~budget)
   in
   Cmd.v
     (Cmd.info "fuzz"
@@ -338,7 +356,7 @@ let fuzz_cmd =
           persist any divergence.")
     Term.(const run $ mode_arg $ seed_arg $ fuzz_budget_arg ~default:200 $ fuzz_packets_arg
           $ fuzz_out_arg $ mutant_arg $ replay_arg $ parallel_arg $ telemetry_flag
-          $ driver_arg $ target_arg)
+          $ driver_arg $ target_arg $ rules_arg)
 
 let chaos_cmd =
   let remediations_arg =

@@ -16,6 +16,8 @@ type params = {
   max_prims : int;
   drop_prob : float;
   allow_range : bool;
+  rules : int option;
+  value_bits : int;
 }
 
 let default_params =
@@ -27,14 +29,23 @@ let default_params =
     max_entries = 8;
     max_prims = 3;
     drop_prob = 0.08;
-    allow_range = true }
+    allow_range = true;
+    rules = None;
+    value_bits = 6 }
 
-(* Values live in the low 6 bits of each field, so randomly generated
-   entries and randomly generated packets collide often enough for
-   lookups to hit. Every field in the pools below is at least 6 bits
-   wide. *)
-let value_bits = 6
-let dom = 1 lsl value_bits
+(* Values live in the low [value_bits] bits of each field (clamped to
+   the field's width), so randomly generated entries and randomly
+   generated packets collide often enough for lookups to hit. The
+   default of 6 bits suits the default small tables; the [rules] scale
+   knob pairs with a wider value space so large tables are not all
+   duplicate patterns. *)
+let dom params = 1 lsl params.value_bits
+
+(* Effective value bits for one field. Every field in the pools below is
+   at least 6 bits wide, so at the default this never clamps — and the
+   raw draw below is masked, not re-drawn, keeping the rng stream
+   identical to the historical fixed-6-bit generator. *)
+let field_bits params f = min params.value_bits (Field.width f)
 
 let readable_fields =
   [| Field.Ipv4_src; Field.Ipv4_dst; Field.Tcp_sport; Field.Tcp_dport;
@@ -48,13 +59,23 @@ let writable_fields =
   [| Field.Meta 2; Field.Meta 3; Field.Meta 4; Field.Meta 5;
      Field.Ipv4_dscp; Field.Tcp_flags; Field.Meta 0; Field.Meta 1 |]
 
-let rand_value rng = Int64.of_int (Prng.int rng dom)
+(* One raw draw from the full value space, masked down to the field's
+   effective bits. Draw first, mask second: at the default 6 bits the
+   mask is a no-op and the rng stream matches the historical generator
+   draw for draw (OCaml evaluates tuple arguments right to left, so the
+   value draw precedes the field choice in [gen_primitive]). *)
+let rand_value_for params rng f =
+  let raw = Prng.int rng (dom params) in
+  Int64.of_int (raw land ((1 lsl field_bits params f) - 1))
 
 (* --- actions --- *)
 
-let gen_primitive rng =
+let gen_primitive params rng =
   match Prng.int rng 12 with
-  | 0 | 1 | 2 -> Action.Set_field (Prng.choice rng writable_fields, rand_value rng)
+  | 0 | 1 | 2 ->
+    let raw = Prng.int rng (dom params) in
+    let f = Prng.choice rng writable_fields in
+    Action.Set_field (f, Int64.of_int (raw land ((1 lsl field_bits params f) - 1)))
   | 3 | 4 -> Action.Set_from (Prng.choice rng writable_fields, Prng.choice rng readable_fields)
   | 5 | 6 -> Action.Add_const (Prng.choice rng writable_fields, Int64.of_int (1 + Prng.int rng 7))
   | 7 -> Action.Dec_ttl
@@ -64,7 +85,8 @@ let gen_primitive rng =
 let gen_action params rng ~name =
   if Prng.bool rng params.drop_prob then Action.make name [ Action.Drop ]
   else
-    Action.make name (List.init (1 + Prng.int rng params.max_prims) (fun _ -> gen_primitive rng))
+    Action.make name
+      (List.init (1 + Prng.int rng params.max_prims) (fun _ -> gen_primitive params rng))
 
 (* --- tables --- *)
 
@@ -97,21 +119,31 @@ let gen_keys params rng shape =
       in
       Table.key pool.(i) kind)
 
-let gen_pattern rng (k : Table.key) =
+let gen_pattern params ?mask_pool rng (k : Table.key) =
   let width = Field.width k.field in
   match k.kind with
-  | Match_kind.Exact -> Pattern.Exact (rand_value rng)
+  | Match_kind.Exact -> Pattern.Exact (rand_value_for params rng k.field)
   | Match_kind.Lpm ->
     (* Prefix covers all but the low [suffix] bits; the value's masked
        bits are cleared so the pattern is canonical. *)
-    let suffix = Prng.int rng (value_bits + 1) in
-    let v = Int64.shift_left (Int64.shift_right_logical (rand_value rng) suffix) suffix in
+    let suffix = Prng.int rng (field_bits params k.field + 1) in
+    let v =
+      Int64.shift_left (Int64.shift_right_logical (rand_value_for params rng k.field) suffix) suffix
+    in
     Pattern.Lpm (v, width - suffix)
   | Match_kind.Ternary ->
-    let mask = rand_value rng in
-    Pattern.Ternary (Int64.logand (rand_value rng) mask, mask)
+    (* At rule scale ([mask_pool]) masks come from a bounded per-table
+       pool: free-form masks would put nearly every entry in its own
+       hash-table group, which no hardware target (or access model)
+       resembles. *)
+    let mask =
+      match mask_pool with
+      | Some pool -> Prng.choice rng pool
+      | None -> rand_value_for params rng k.field
+    in
+    Pattern.Ternary (Int64.logand (rand_value_for params rng k.field) mask, mask)
   | Match_kind.Range ->
-    let lo = rand_value rng in
+    let lo = rand_value_for params rng k.field in
     let hi = Int64.add lo (Int64.of_int (Prng.int rng 8)) in
     let hi = if Int64.compare hi (Field.max_value k.field) > 0 then Field.max_value k.field else hi in
     Pattern.Range (lo, hi)
@@ -129,14 +161,51 @@ let gen_table params rng ~name =
      LPM/exact entries keep priority 0 (longest-prefix / exact-hit
      semantics) and rely on pattern deduplication instead. *)
   let prioritized = shape = Sh_ternary || shape = Sh_range in
-  let n_entries = 1 + Prng.int rng params.max_entries in
-  let seen = ref [] in
+  let n_entries =
+    match params.rules with
+    | None -> 1 + Prng.int rng params.max_entries
+    | Some r ->
+      (* Rule-scale mode: every table lands within a factor of two of
+         the requested size, so large-backend selection actually fires. *)
+      let r = max 1 r in
+      (r / 2) + 1 + Prng.int rng (max 1 ((r + 1) / 2))
+  in
+  let mask_pool =
+    match (params.rules, shape) with
+    | Some _, Sh_ternary ->
+      (* Prefix-pair masks (a prefix over each half of the field's value
+         window), not free-form random bits: that is the shape ACL rule
+         sets and TCAM range expansions actually have, and it is what
+         the engine's decision-tree backend (and its degeneracy guard —
+         Nicsim.Engine) keys on. Masks sharing no bits would make every
+         large ternary table fall back to the skip probe, leaving the
+         tree plan untested at scale. One rng draw per mask, split into
+         the two prefix lengths. *)
+      let k0 = List.hd keys in
+      let w = field_bits params k0.Table.field in
+      let hi = (w + 1) / 2
+      and lo = w / 2 in
+      let amin = max 1 ((hi + 1) / 2) in
+      let ra = hi - amin + 1 in
+      Some
+        (Array.init (min 64 (max 2 (n_entries / 16))) (fun _ ->
+             let raw = Prng.int rng (dom params) in
+             let a = amin + (raw mod ra) in
+             let b = raw / ra mod (lo + 1) in
+             let hi_mask = ((1 lsl a) - 1) lsl (w - a) in
+             let lo_mask = ((1 lsl b) - 1) lsl (lo - b) in
+             Int64.of_int (hi_mask lor lo_mask)))
+    | _ -> None
+  in
+  (* Pattern dedup via a hash set: the historical list scan is O(n^2)
+     and dominates generation at rule scale. Drawing no rng of its own,
+     the switch leaves generated cases untouched. *)
+  let seen = Hashtbl.create (min 4096 (2 * n_entries)) in
   let entries = ref [] in
   for i = 0 to n_entries - 1 do
-    let patterns = List.map (gen_pattern rng) keys in
-    let dup = List.exists (List.for_all2 Pattern.equal patterns) !seen in
-    if not dup then begin
-      seen := patterns :: !seen;
+    let patterns = List.map (gen_pattern params ?mask_pool rng) keys in
+    if not (Hashtbl.mem seen patterns) then begin
+      Hashtbl.add seen patterns ();
       let priority = if prioritized then n_entries - i else 0 in
       entries := Table.entry ~priority patterns (Prng.choice rng action_names) :: !entries
     end
@@ -179,7 +248,7 @@ let rec gen_block params rng nm ~depth ~budget =
       if depth < params.max_depth && roll < 0.20 then begin
         let field = Prng.choice rng readable_fields in
         let op = Prng.choice rng cmp_ops in
-        let arg = rand_value rng in
+        let arg = rand_value_for params rng field in
         let bt =
           if Prng.bool rng 0.85 then gen_block params rng nm ~depth:(depth + 1) ~budget else []
         in
@@ -335,27 +404,47 @@ let clamp_value f v =
   let v = if Int64.compare v 0L < 0 then 0L else v in
   Int64.logand v (Field.max_value f)
 
-let gen_flow rng ~fields ~pool =
+(* [buckets] pre-splits the interesting-value pool per field (preserving
+   pool order, so index draws land on the same values the historical
+   per-flow [List.filter] found): at rule scale the pool holds one value
+   per entry key and re-filtering it per flow was quadratic. *)
+let gen_flow params rng ~fields ~buckets =
   List.filter_map
-    (fun f ->
+    (fun (f, (candidates : int64 array)) ->
       if Prng.bool rng 0.12 then None (* leave the field at its packet default *)
       else
-        let candidates = List.filter (fun (g, _) -> Field.equal f g) pool in
         let v =
-          if candidates <> [] && Prng.bool rng 0.7 then begin
-            let _, v = List.nth candidates (Prng.int rng (List.length candidates)) in
+          if Array.length candidates > 0 && Prng.bool rng 0.7 then begin
+            let v = candidates.(Prng.int rng (Array.length candidates)) in
             if Prng.bool rng 0.25 then Int64.add v (Int64.of_int (Prng.int rng 3 - 1)) else v
           end
-          else rand_value rng
+          else rand_value_for params rng f
         in
         Some (f, clamp_value f v))
-    fields
+    (List.map (fun f -> (f, buckets f)) fields)
 
-let packets ?n_flows rng prog ~n =
+let packets ?(params = default_params) ?n_flows rng prog ~n =
   let fields = read_fields prog in
   let pool = interesting_values prog in
+  let tbl : (Field.t, int64 list ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (f, v) ->
+      match Hashtbl.find_opt tbl f with
+      | Some l -> l := v :: !l
+      | None -> Hashtbl.add tbl f (ref [ v ]))
+    pool;
+  let bucket_arr =
+    List.map
+      (fun f ->
+        ( f,
+          match Hashtbl.find_opt tbl f with
+          | Some l -> Array.of_list (List.rev !l)
+          | None -> [||] ))
+      fields
+  in
+  let buckets f = List.assoc f bucket_arr in
   let n_flows = match n_flows with Some k -> max 1 k | None -> 4 + Prng.int rng 29 in
-  let flows = Array.init n_flows (fun _ -> gen_flow rng ~fields ~pool) in
+  let flows = Array.init n_flows (fun _ -> gen_flow params rng ~fields ~buckets) in
   let zipf = Traffic.Zipf.create ~n:n_flows ~s:(Prng.uniform rng 0. 1.3) in
   List.init n (fun _ -> flows.(Traffic.Zipf.sample zipf rng))
 
@@ -367,4 +456,4 @@ type case = {
 
 let case ?(params = default_params) ?(n_packets = 64) rng =
   let prog = program ~params rng in
-  { program = prog; profile = profile rng prog; packets = packets rng prog ~n:n_packets }
+  { program = prog; profile = profile rng prog; packets = packets ~params rng prog ~n:n_packets }

@@ -22,10 +22,20 @@ type params = {
   max_depth : int;  (** nesting of if/switch blocks *)
   max_keys : int;  (** keys per table, >= 1 *)
   max_actions : int;  (** actions per table, >= 1 *)
-  max_entries : int;  (** entries per table *)
+  max_entries : int;  (** entries per table (ignored when [rules] is set) *)
   max_prims : int;  (** primitives per action *)
   drop_prob : float;  (** probability an action is a bare [drop] *)
   allow_range : bool;
+  rules : int option;
+      (** rule-scale knob: every table gets between n/2 and n entries
+          (instead of [max_entries]), with ternary masks drawn from a
+          bounded per-table pool so group counts stay hardware-shaped.
+          Pair with a wider [value_bits] so patterns stay distinct. *)
+  value_bits : int;
+      (** value-space width: entry and packet values live in the low
+          [value_bits] bits of each field (clamped to the field width).
+          The default 6 reproduces the historical generator draw for
+          draw. *)
 }
 
 val default_params : params
@@ -42,7 +52,7 @@ type flow = (P4ir.Field.t * P4ir.Value.t) list
 (** Field assignments applied on top of packet defaults; fields the
     program never reads are left to their defaults. *)
 
-val packets : ?n_flows:int -> Stdx.Prng.t -> P4ir.Program.t -> n:int -> flow list
+val packets : ?params:params -> ?n_flows:int -> Stdx.Prng.t -> P4ir.Program.t -> n:int -> flow list
 (** [n] packets drawn Zipf-distributed from a population of flows whose
     field values are biased towards the program's own entry constants
     and branch arguments (so entries actually hit). *)

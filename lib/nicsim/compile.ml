@@ -60,6 +60,11 @@ type op_table = {
   t_probe : (Packet.t -> P4ir.Table.entry option) option;
       (* allocation-free exact probe ({!Engine.exact_probe}); one memory
          access by construction, same entries as [Engine.lookup] *)
+  t_splan : (Packet.t -> P4ir.Table.entry option) option;
+      (* shaped plan probe ({!Engine.plan_probe}): Waldvogel / learned /
+         tree / straight probe per the table's backend selection; leaves
+         the modeled access count in [Engine.last_accesses] instead of
+         allocating a result tuple *)
   t_core : Costmodel.Cost.core;
   t_factor : float;
   t_cat : string;
@@ -354,6 +359,7 @@ let build ?reuse ~target ~placement ~counters ~telemetry ~engine_of prog =
               t_name = tab.name;
               t_eng = eng;
               t_probe = Engine.exact_probe eng;
+              t_splan = Engine.plan_probe eng;
               t_core = core;
               t_factor = factor;
               t_cat = node_cat tab;
@@ -467,10 +473,16 @@ let run p ~tracer ~sampled ~seq ~now pkt =
         | Some probe ->
           p.s_acc <- 1;
           probe pkt
-        | None ->
-          let r, a = Engine.lookup tb.t_eng pkt in
-          p.s_acc <- a;
-          r
+        | None -> (
+          match tb.t_splan with
+          | Some probe ->
+            let r = probe pkt in
+            p.s_acc <- Engine.last_accesses tb.t_eng;
+            r
+          | None ->
+            let r, a = Engine.lookup tb.t_eng pkt in
+            p.s_acc <- a;
+            r)
       in
       let accesses = p.s_acc in
       (* Runtime association order matches the interpreter:

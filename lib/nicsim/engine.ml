@@ -41,11 +41,66 @@ type plan = {
   ptbls : (int, pslot list) Hashtbl.t array;
 }
 
+(* Learned-index LPM plan (single-LPM-key tables). The prefix set is
+   flattened into disjoint elementary intervals over the key domain; a
+   piecewise-linear model over the sorted interval start keys predicts
+   the slot holding a query's interval within a bounded error window,
+   and a last-mile binary search inside the window finishes the job.
+   Interval runs the model cannot fit are diverted to a small sorted
+   remainder store probed exactly — the NuevoMatchUp remainder
+   discipline. Entry options are preallocated at build, model
+   coefficients live in floatarrays, so the probe allocates nothing. *)
+type learned = {
+  l_bounds : int64 array;  (* interval start keys, ascending; slot 0 holds 0 *)
+  l_ent : P4ir.Table.entry option array;  (* winner per interval *)
+  l_acc : int array;  (* modeled access count per interval *)
+  seg_key : int64 array;  (* per segment, first covered bound *)
+  seg_pos : int array;  (* length nseg+1: slot range of each segment *)
+  seg_slope : floatarray;
+  seg_inter : floatarray;
+  l_window : int;  (* last-mile search radius around the prediction *)
+  r_bounds : int64 array;  (* remainder store: outlier bounds, ascending *)
+  r_ent : P4ir.Table.entry option array;
+  r_acc : int array;
+  l_dom : int64;  (* key domain mask: 2^width - 1 *)
+}
+
+(* Decision-tree ternary plan: internal nodes test one key bit (packed
+   as [key*64 + bit]), leaves hold candidate lists pre-sorted in the
+   probe's winner order (priority desc, then group probe order), so the
+   first matching candidate is the answer. Candidates wildcarded on a
+   split bit are duplicated down both sides, bounded by a duplication
+   budget. Nodes live in a flat int array (3 slots each), candidates in
+   parallel arrays with preallocated entry options. *)
+type tree = {
+  tn : int array;  (* node i at 3i: [bit; left; right] or [-1; start; len] *)
+  c_masked : int64 array array;  (* per candidate: masked key values *)
+  c_rank : int array;  (* per candidate: owning group's probe rank *)
+  c_ent : P4ir.Table.entry option array;  (* preallocated [Some entry] *)
+  t_masks : int64 array array;  (* per group rank: per-key masks *)
+  t_acc : int;  (* modeled accesses: every mask group is always charged *)
+  t_maxleaf : int;  (* largest leaf candidate list: worst-case scan length *)
+}
+
+(* Which compiled plan a shaped table is currently running. *)
+type splan =
+  | P_none  (* straight probe: longest-first LPM scan / ternary skip probe *)
+  | P_waldvogel of plan
+  | P_learned of learned
+  | P_tree of tree
+
+(* Per-table override for the plan selector. [Auto] picks from the entry
+   count and match kind at plan-build time; a forced hint that does not
+   apply to the table's shape falls back to [Auto]'s choice. *)
+type backend_hint = Auto | Force_linear | Force_waldvogel | Force_learned | Force_tree
+
 type shaped = {
   mutable groups : group array;  (* only the first [ngroups] are live *)
   mutable ngroups : int;
   lpm_ordered : bool;
-  mutable plan : plan option;
+  mutable nentries : int;  (* live slots across all groups, tracked exactly *)
+  mutable hint : backend_hint;
+  mutable plan : splan;
   mutable plan_stale : bool;
 }
 
@@ -78,6 +133,7 @@ type t = {
   scratch : int64 array;  (* reusable per-lookup key-value buffer *)
   backend : backend;
   mutable updates : int;
+  mutable last_acc : int;  (* accesses of the most recent plan probe *)
   mutable tokens : float;  (* cache-fill token bucket *)
   mutable token_time : float;
 }
@@ -204,9 +260,13 @@ let bucket_keep bucket (slot : slot) =
   in
   go [] bucket
 
+(* True iff the store grew (the slot's masked key was new): collapsing
+   onto an existing slot keeps the live-entry count unchanged. *)
 let hash_insert tbl key slot =
   let bucket = match Hashtbl.find_opt tbl key with Some b -> b | None -> [] in
-  Hashtbl.replace tbl key (bucket_keep bucket slot)
+  let bucket' = bucket_keep bucket slot in
+  Hashtbl.replace tbl key bucket';
+  List.length bucket' > List.length bucket
 
 (* --- shapes --- *)
 
@@ -249,7 +309,7 @@ let masks_of_shape (tab : P4ir.Table.t) shape =
 (* --- shaped group array management --- *)
 
 let invalidate_plan s =
-  s.plan <- None;
+  s.plan <- P_none;
   s.plan_stale <- true
 
 let find_group s shape =
@@ -305,7 +365,8 @@ let shaped_insert s (tab : P4ir.Table.t) (e : P4ir.Table.entry) =
   in
   let values = Array.of_list (entry_values e) in
   let masked = Array.mapi (fun i v -> Int64.logand v g.masks.(i)) values in
-  hash_insert g.tbl (hash_masked masked g.masks) { masked; entry = e };
+  if hash_insert g.tbl (hash_masked masked g.masks) { masked; entry = e } then
+    s.nentries <- s.nentries + 1;
   invalidate_plan s
 
 (* --- compiled binary-search plan (LPM) --- *)
@@ -319,9 +380,8 @@ let group_probe (g : group) vals =
   | None -> None
   | Some bucket -> bucket_find g.masks vals bucket
 
-let build_plan s =
-  s.plan_stale <- false;
-  s.plan <- None;
+let build_waldvogel s =
+  let result = ref None in
   let m = s.ngroups in
   if s.lpm_ordered && m >= plan_threshold then begin
     (* Ascending specificity: position p is groups.(m-1-p). *)
@@ -400,9 +460,10 @@ let build_plan s =
               Hashtbl.replace ptbls.(pos) h pslots)
             keys)
         keysets;
-      s.plan <- Some { pmasks; ptbls }
+      result := Some { pmasks; ptbls }
     end
-  end
+  end;
+  !result
 
 let pslot_matches (masks : int64 array) (vals : int64 array) (ps : pslot) =
   let n = Array.length masks in
@@ -440,13 +501,510 @@ let plan_lookup (plan : plan) vals m =
   | Some e -> (Some e, m - !best_pos)
   | None -> (None, max 1 m)
 
+(* --- learned-index LPM plan --- *)
+
+(* Tunables. [learned_epsilon] is the model's maximum slot error; the
+   last-mile search window is epsilon + 2 (queries between two sample
+   keys can land one slot past either bound). Segments shorter than
+   [learned_min_run] are outliers the cone could not extend over — they
+   go to the remainder store instead of earning coefficients. The
+   thresholds are where the auto selector switches a table over; below
+   them the existing plans win on build cost. *)
+let learned_epsilon = 32
+let learned_min_run = 4
+let learned_threshold = 4096
+let tree_threshold = 4096
+
+(* Degeneracy guard for the decision tree. Unstructured mask sets (no
+   bits shared across masks) exhaust the wildcard-duplication budget
+   near the root and leave giant leaves, so a probe scans thousands of
+   candidates — far slower than the skip probe it replaced. The auto
+   selector keeps a tree only when its worst leaf scan stays within a
+   small factor of the skip probe's per-group cost (a leaf compare is
+   much cheaper than a masked hash probe); forced hints bypass the
+   guard. *)
+let tree_leaf_budget ngroups = 4 * max 8 ngroups
+
+(* The learned plan models one key dimension: a single LPM key, whose
+   width (<= 48 bits) converts to float exactly. Multi-key LPM tables
+   keep the Waldvogel / linear plans. *)
+let learned_applicable t s =
+  s.lpm_ordered
+  && Array.length t.fields = 1
+  &&
+  let rec ok i =
+    i >= s.ngroups
+    || (match s.groups.(i).shape.(0) with S_prefix _ -> ok (i + 1) | S_exact | S_mask _ -> false)
+  in
+  ok 0
+
+let build_learned t s =
+  let width = P4ir.Field.width t.fields.(0) in
+  let dom = Int64.shift_left 1L width in
+  let dom_mask = Int64.sub dom 1L in
+  let miss_acc = max 1 s.ngroups in
+  (* Collect every prefix with its probe rank: a hit in group i costs
+     i+1 accesses under the modeled longest-first scan. *)
+  let n = s.nentries in
+  let it_lo = Array.make (max 1 n) 0L in
+  let it_hi = Array.make (max 1 n) 0L in
+  let it_len = Array.make (max 1 n) 0 in
+  let it_ent = Array.make (max 1 n) None in
+  let it_acc = Array.make (max 1 n) 0 in
+  let nit = ref 0 in
+  for i = 0 to s.ngroups - 1 do
+    let g = s.groups.(i) in
+    let len = match g.shape.(0) with S_prefix l -> l | S_exact | S_mask _ -> width in
+    let span = Int64.sub (Int64.shift_left 1L (width - len)) 1L in
+    Hashtbl.iter
+      (fun _ bucket ->
+        List.iter
+          (fun (s0 : slot) ->
+            let k = !nit in
+            it_lo.(k) <- s0.masked.(0);
+            it_hi.(k) <- Int64.add s0.masked.(0) span;
+            it_len.(k) <- len;
+            it_ent.(k) <- Some s0.entry;
+            it_acc.(k) <- i + 1;
+            incr nit)
+          bucket)
+      g.tbl
+  done;
+  let n = !nit in
+  let order = Array.init n (fun i -> i) in
+  (* Prefix intervals nest or are disjoint; sorting by (lo asc, wider
+     first) makes a single stack sweep flatten them into disjoint
+     elementary intervals whose winner is the innermost live prefix. *)
+  Array.sort
+    (fun a b ->
+      let c = Int64.compare it_lo.(a) it_lo.(b) in
+      if c <> 0 then c else compare it_len.(a) it_len.(b))
+    order;
+  let cap = (2 * n) + 2 in
+  let b_bound = Array.make cap 0L in
+  let b_ent = Array.make cap None in
+  let b_acc = Array.make cap miss_acc in
+  let bn = ref 0 in
+  let emit bound ent acc =
+    if Int64.compare bound dom < 0 then
+      if !bn > 0 && Int64.equal b_bound.(!bn - 1) bound then begin
+        (* Same start key: the later (narrower) item wins the interval. *)
+        b_ent.(!bn - 1) <- ent;
+        b_acc.(!bn - 1) <- acc
+      end
+      else begin
+        b_bound.(!bn) <- bound;
+        b_ent.(!bn) <- ent;
+        b_acc.(!bn) <- acc;
+        incr bn
+      end
+  in
+  emit 0L None miss_acc;
+  let stack = Array.make (max 1 n) 0 in
+  let top = ref 0 in
+  let emit_top_after bound =
+    if !top > 0 then begin
+      let p = stack.(!top - 1) in
+      emit bound it_ent.(p) it_acc.(p)
+    end
+    else emit bound None miss_acc
+  in
+  Array.iter
+    (fun idx ->
+      while !top > 0 && Int64.compare it_hi.(stack.(!top - 1)) it_lo.(idx) < 0 do
+        let popped = stack.(!top - 1) in
+        decr top;
+        emit_top_after (Int64.add it_hi.(popped) 1L)
+      done;
+      stack.(!top) <- idx;
+      incr top;
+      emit it_lo.(idx) it_ent.(idx) it_acc.(idx))
+    order;
+  while !top > 0 do
+    let popped = stack.(!top - 1) in
+    decr top;
+    emit_top_after (Int64.add it_hi.(popped) 1L)
+  done;
+  let nb = !bn in
+  (* Greedy shrinking-cone piecewise-linear regression over the points
+     (bound as float, slot index): extend the current segment while some
+     slope keeps every point within epsilon slots; close it when the
+     feasible cone empties. *)
+  let eps = float_of_int learned_epsilon in
+  let segs = ref [] in
+  let j0 = ref 0 in
+  let x0 = ref (Int64.to_float b_bound.(0)) in
+  let slo = ref neg_infinity and shi = ref infinity in
+  let close stop =
+    let slope =
+      if stop - !j0 <= 1 then 0.
+      else begin
+        let mid = (!slo +. !shi) /. 2. in
+        if Float.is_finite mid then mid else 0.
+      end
+    in
+    let inter = float_of_int !j0 -. (slope *. !x0) in
+    segs := (!j0, stop, slope, inter) :: !segs
+  in
+  for j = 1 to nb - 1 do
+    let x = Int64.to_float b_bound.(j) in
+    let dx = x -. !x0 in
+    let dy = float_of_int (j - !j0) in
+    let lo_req = (dy -. eps) /. dx and hi_req = (dy +. eps) /. dx in
+    let nlo = Float.max !slo lo_req and nhi = Float.min !shi hi_req in
+    if nlo > nhi then begin
+      close j;
+      j0 := j;
+      x0 := x;
+      slo := neg_infinity;
+      shi := infinity
+    end
+    else begin
+      slo := nlo;
+      shi := nhi
+    end
+  done;
+  close nb;
+  let segs = List.rev !segs in
+  (* Divert runt segments to the remainder store (the segment holding
+     bound 0 always stays: every query then finds a main-array floor).
+     Accepted segments keep their slope — removing whole earlier runs
+     shifts their slots by a constant, absorbed into the intercept. *)
+  let rem_cap = (nb / 16) + 4 in
+  let m_bound = Array.make (max 1 nb) 0L in
+  let m_ent = Array.make (max 1 nb) None in
+  let m_acc = Array.make (max 1 nb) miss_acc in
+  let mn = ref 0 in
+  let r_bound = Array.make rem_cap 0L in
+  let r_ent = Array.make rem_cap None in
+  let r_acc = Array.make rem_cap 0 in
+  let rn = ref 0 in
+  let skeys = ref [] and sposs = ref [] and sslopes = ref [] and sinters = ref [] in
+  let nseg = ref 0 in
+  List.iter
+    (fun (start, stop, slope, inter) ->
+      let cnt = stop - start in
+      if cnt < learned_min_run && start > 0 && !rn + cnt <= rem_cap then
+        for j = start to stop - 1 do
+          r_bound.(!rn) <- b_bound.(j);
+          r_ent.(!rn) <- b_ent.(j);
+          r_acc.(!rn) <- b_acc.(j);
+          incr rn
+        done
+      else begin
+        let removed = start - !mn in
+        skeys := b_bound.(start) :: !skeys;
+        sposs := !mn :: !sposs;
+        sslopes := slope :: !sslopes;
+        sinters := (inter -. float_of_int removed) :: !sinters;
+        incr nseg;
+        for j = start to stop - 1 do
+          m_bound.(!mn) <- b_bound.(j);
+          m_ent.(!mn) <- b_ent.(j);
+          m_acc.(!mn) <- b_acc.(j);
+          incr mn
+        done
+      end)
+    segs;
+  sposs := !mn :: !sposs;
+  { l_bounds = Array.sub m_bound 0 !mn;
+    l_ent = Array.sub m_ent 0 !mn;
+    l_acc = Array.sub m_acc 0 !mn;
+    seg_key = Array.of_list (List.rev !skeys);
+    seg_pos = Array.of_list (List.rev !sposs);
+    seg_slope = Float.Array.of_list (List.rev !sslopes);
+    seg_inter = Float.Array.of_list (List.rev !sinters);
+    l_window = learned_epsilon + 2;
+    r_bounds = Array.sub r_bound 0 !rn;
+    r_ent = Array.sub r_ent 0 !rn;
+    r_acc = Array.sub r_acc 0 !rn;
+    l_dom = dom_mask }
+
+(* Rightmost index in [lo, hi] whose key is <= v; [ans] if none. A
+   top-level tail-recursive function, not a local closure, so the probe
+   path allocates nothing. *)
+let rec bsearch_le (a : int64 array) (v : int64) lo hi ans =
+  if lo > hi then ans
+  else begin
+    let mid = (lo + hi) / 2 in
+    if Int64.compare (Array.unsafe_get a mid) v <= 0 then bsearch_le a v (mid + 1) hi mid
+    else bsearch_le a v lo (mid - 1) ans
+  end
+
+let learned_find t (l : learned) (v : int64) =
+  let v = Int64.logand v l.l_dom in
+  let s = bsearch_le l.seg_key v 0 (Array.length l.seg_key - 1) 0 in
+  let lo_pos = l.seg_pos.(s) and hi_pos = l.seg_pos.(s + 1) - 1 in
+  let pred =
+    int_of_float ((Float.Array.get l.seg_slope s *. Int64.to_float v) +. Float.Array.get l.seg_inter s)
+  in
+  let pred = if pred < lo_pos then lo_pos else if pred > hi_pos then hi_pos else pred in
+  let wlo = if pred - l.l_window < lo_pos then lo_pos else pred - l.l_window in
+  let whi = if pred + l.l_window > hi_pos then hi_pos else pred + l.l_window in
+  let j = bsearch_le l.l_bounds v wlo whi (wlo - 1) in
+  (* The window provably contains the answer for non-negative segment
+     slopes; verify and fall back to the whole segment otherwise. *)
+  let j =
+    if j >= wlo && (j = hi_pos || Int64.compare l.l_bounds.(j + 1) v > 0) then j
+    else bsearch_le l.l_bounds v lo_pos hi_pos lo_pos
+  in
+  let rn = Array.length l.r_bounds in
+  if rn > 0 then begin
+    let rj = bsearch_le l.r_bounds v 0 (rn - 1) (-1) in
+    if rj >= 0 && Int64.compare l.r_bounds.(rj) l.l_bounds.(j) > 0 then begin
+      t.last_acc <- l.r_acc.(rj);
+      l.r_ent.(rj)
+    end
+    else begin
+      t.last_acc <- l.l_acc.(j);
+      l.l_ent.(j)
+    end
+  end
+  else begin
+    t.last_acc <- l.l_acc.(j);
+    l.l_ent.(j)
+  end
+
+(* --- decision-tree ternary plan --- *)
+
+let tree_leaf_max = 8
+let tree_max_depth = 20
+let tree_sample_cap = 512
+
+let build_tree s =
+  let g_masks = Array.init s.ngroups (fun i -> s.groups.(i).masks) in
+  let nk = if s.ngroups = 0 then 0 else Array.length g_masks.(0) in
+  let n = s.nentries in
+  let a_masked = Array.make (max 1 n) [||] in
+  let a_rank = Array.make (max 1 n) 0 in
+  let a_ent = Array.make (max 1 n) None in
+  let a_prio = Array.make (max 1 n) 0 in
+  let na = ref 0 in
+  for i = 0 to s.ngroups - 1 do
+    Hashtbl.iter
+      (fun _ bucket ->
+        List.iter
+          (fun (s0 : slot) ->
+            let k = !na in
+            a_masked.(k) <- s0.masked;
+            a_rank.(k) <- i;
+            a_ent.(k) <- Some s0.entry;
+            a_prio.(k) <- s0.entry.priority;
+            incr na)
+          bucket)
+      s.groups.(i).tbl
+  done;
+  let n = !na in
+  (* Pre-sort once in winner order (priority desc, probe rank asc);
+     stable partitions below preserve it, so every leaf list is sorted
+     and the first match wins — exactly the skip probe's answer. *)
+  let order = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      let c = compare a_prio.(b) a_prio.(a) in
+      if c <> 0 then c else compare a_rank.(a) a_rank.(b))
+    order;
+  (* Split-bit candidates: bits set in at least one group mask. *)
+  let bits = ref [] in
+  for k = nk - 1 downto 0 do
+    let u = ref 0L in
+    for i = 0 to s.ngroups - 1 do
+      u := Int64.logor !u g_masks.(i).(k)
+    done;
+    for b = 63 downto 0 do
+      if Int64.equal (Int64.logand (Int64.shift_right_logical !u b) 1L) 1L then
+        bits := ((k * 64) + b) :: !bits
+    done
+  done;
+  let bits = Array.of_list !bits in
+  let tn = ref (Array.make 96 0) in
+  let nnodes = ref 0 in
+  let new_node a b c =
+    if 3 * !nnodes >= Array.length !tn then begin
+      let bigger = Array.make (2 * Array.length !tn) 0 in
+      Array.blit !tn 0 bigger 0 (3 * !nnodes);
+      tn := bigger
+    end;
+    let id = !nnodes in
+    incr nnodes;
+    (!tn).((3 * id) + 0) <- a;
+    (!tn).((3 * id) + 1) <- b;
+    (!tn).((3 * id) + 2) <- c;
+    id
+  in
+  let c_masked = ref (Array.make (max 1 n) [||]) in
+  let c_rank = ref (Array.make (max 1 n) 0) in
+  let c_ent = ref (Array.make (max 1 n) None) in
+  let nc = ref 0 in
+  let push_cand i =
+    if !nc >= Array.length !c_ent then begin
+      let grow (type a) (a : a array) (z : a) =
+        let bigger = Array.make (2 * Array.length a) z in
+        Array.blit a 0 bigger 0 !nc;
+        bigger
+      in
+      c_masked := grow !c_masked [||];
+      c_rank := grow !c_rank 0;
+      c_ent := grow !c_ent None
+    end;
+    (!c_masked).(!nc) <- a_masked.(i);
+    (!c_rank).(!nc) <- a_rank.(i);
+    (!c_ent).(!nc) <- a_ent.(i);
+    incr nc
+  in
+  (* Wildcard duplication budget: once splits have copied this many
+     extra candidates, the remaining subtrees become leaves. *)
+  let dup_allow = ref ((8 * n) + 64) in
+  let maxleaf = ref 0 in
+  let bit_set v b = Int64.equal (Int64.logand (Int64.shift_right_logical v b) 1L) 1L in
+  let rec build cands depth =
+    let cn = Array.length cands in
+    let make_leaf () =
+      if cn > !maxleaf then maxleaf := cn;
+      let start = !nc in
+      Array.iter push_cand cands;
+      new_node (-1) start cn
+    in
+    if cn <= tree_leaf_max || depth >= tree_max_depth || !dup_allow <= 0 then make_leaf ()
+    else begin
+      (* Pick the bit separating the most candidates, scored on a
+         strided sample for large nodes (a sample underestimates both
+         sides, so a positive score still guarantees the split shrinks). *)
+      let step = if cn <= tree_sample_cap then 1 else cn / tree_sample_cap in
+      let best_bit = ref (-1) and best_score = ref 0 in
+      Array.iter
+        (fun kb ->
+          let k = kb lsr 6 and b = kb land 63 in
+          let zeros = ref 0 and ones = ref 0 in
+          let i = ref 0 in
+          while !i < cn do
+            let c = cands.(!i) in
+            if bit_set g_masks.(a_rank.(c)).(k) b then
+              if bit_set a_masked.(c).(k) b then incr ones else incr zeros;
+            i := !i + step
+          done;
+          let score = min !zeros !ones in
+          if score > !best_score then begin
+            best_score := score;
+            best_bit := kb
+          end)
+        bits;
+      if !best_bit < 0 then make_leaf ()
+      else begin
+        let kb = !best_bit in
+        let k = kb lsr 6 and b = kb land 63 in
+        let nl = ref 0 and nr = ref 0 in
+        Array.iter
+          (fun c ->
+            if bit_set g_masks.(a_rank.(c)).(k) b then
+              if bit_set a_masked.(c).(k) b then incr nr else incr nl
+            else begin
+              incr nl;
+              incr nr
+            end)
+          cands;
+        let left = Array.make !nl 0 and right = Array.make !nr 0 in
+        let il = ref 0 and ir = ref 0 in
+        Array.iter
+          (fun c ->
+            if bit_set g_masks.(a_rank.(c)).(k) b then begin
+              if bit_set a_masked.(c).(k) b then begin
+                right.(!ir) <- c;
+                incr ir
+              end
+              else begin
+                left.(!il) <- c;
+                incr il
+              end
+            end
+            else begin
+              left.(!il) <- c;
+              incr il;
+              right.(!ir) <- c;
+              incr ir
+            end)
+          cands;
+        dup_allow := !dup_allow - (!nl + !nr - cn);
+        let me = new_node kb 0 0 in
+        let l = build left (depth + 1) in
+        let r = build right (depth + 1) in
+        (!tn).((3 * me) + 1) <- l;
+        (!tn).((3 * me) + 2) <- r;
+        me
+      end
+    end
+  in
+  let root = build order 0 in
+  assert (root = 0);
+  { tn = Array.sub !tn 0 (3 * !nnodes);
+    c_masked = Array.sub !c_masked 0 !nc;
+    c_rank = Array.sub !c_rank 0 !nc;
+    c_ent = Array.sub !c_ent 0 !nc;
+    t_masks = g_masks;
+    t_acc = max 1 s.ngroups;
+    t_maxleaf = !maxleaf }
+
+(* Leaf scan: first candidate whose masked projection of the packet
+   values matches. Top-level recursion keeps the probe allocation-free. *)
+let rec tree_cand_match (cm : int64 array) (masks : int64 array) (vals : int64 array) k nk =
+  k >= nk
+  || Int64.equal (Array.unsafe_get cm k)
+       (Int64.logand (Array.unsafe_get vals k) (Array.unsafe_get masks k))
+     && tree_cand_match cm masks vals (k + 1) nk
+
+let rec tree_scan (tr : tree) (vals : int64 array) i stop =
+  if i >= stop then None
+  else begin
+    let masks = tr.t_masks.(Array.unsafe_get tr.c_rank i) in
+    if tree_cand_match (Array.unsafe_get tr.c_masked i) masks vals 0 (Array.length masks) then
+      Array.unsafe_get tr.c_ent i
+    else tree_scan tr vals (i + 1) stop
+  end
+
+let rec tree_descend (tr : tree) (vals : int64 array) node =
+  let tag = Array.unsafe_get tr.tn (3 * node) in
+  if tag < 0 then begin
+    let start = Array.unsafe_get tr.tn ((3 * node) + 1) in
+    tree_scan tr vals start (start + Array.unsafe_get tr.tn ((3 * node) + 2))
+  end
+  else begin
+    let v = Array.unsafe_get vals (tag lsr 6) in
+    if Int64.equal (Int64.logand (Int64.shift_right_logical v (tag land 63)) 1L) 1L then
+      tree_descend tr vals (Array.unsafe_get tr.tn ((3 * node) + 2))
+    else tree_descend tr vals (Array.unsafe_get tr.tn ((3 * node) + 1))
+  end
+
+(* --- plan selection --- *)
+
+let select_plan t s =
+  s.plan_stale <- false;
+  let waldvogel () = match build_waldvogel s with Some p -> P_waldvogel p | None -> P_none in
+  let auto () =
+    if s.lpm_ordered then
+      if learned_applicable t s && s.nentries >= learned_threshold then
+        P_learned (build_learned t s)
+      else waldvogel ()
+    else if s.nentries >= tree_threshold && s.ngroups >= 2 then begin
+      let tr = build_tree s in
+      if tr.t_maxleaf <= tree_leaf_budget s.ngroups then P_tree tr else P_none
+    end
+    else P_none
+  in
+  s.plan <-
+    (match s.hint with
+     | Auto -> auto ()
+     | Force_linear -> P_none
+     | Force_waldvogel -> if s.lpm_ordered then waldvogel () else auto ()
+     | Force_learned -> if learned_applicable t s then P_learned (build_learned t s) else auto ()
+     | Force_tree -> if (not s.lpm_ordered) && s.ngroups > 0 then P_tree (build_tree s) else auto ())
+
 (* --- engine construction --- *)
 
 let raw_insert t (e : P4ir.Table.entry) =
   match t.backend with
   | Exact_hash ex ->
     let masked = Array.of_list (entry_values e) in
-    hash_insert ex.etbl (hash_exact masked) { masked; entry = e };
+    ignore (hash_insert ex.etbl (hash_exact masked) { masked; entry = e });
     ex.eidx <- None
   | Exact_lru lru -> ignore (Lru.put lru (exact_key_of_entry e) e)
   | Linear entries -> entries := !entries @ [ e ]
@@ -467,7 +1025,14 @@ let create (tab : P4ir.Table.t) =
       let lpm_ordered =
         P4ir.Match_kind.equal (P4ir.Table.effective_kind tab) P4ir.Match_kind.Lpm
       in
-      Shaped { groups = [||]; ngroups = 0; lpm_ordered; plan = None; plan_stale = true }
+      Shaped
+        { groups = [||];
+          ngroups = 0;
+          lpm_ordered;
+          nentries = 0;
+          hint = Auto;
+          plan = P_none;
+          plan_stale = true }
   in
   let nkeys = List.length tab.keys in
   let tokens =
@@ -481,6 +1046,7 @@ let create (tab : P4ir.Table.t) =
       scratch = Array.make (max 1 nkeys) 0L;
       backend;
       updates = 0;
+      last_acc = 1;
       tokens;
       token_time = 0. }
   in
@@ -537,15 +1103,40 @@ let ternary_probe ~skip s vals =
   done;
   (!best, max 1 s.ngroups)
 
+(* One plan-directed probe. Leaves the access count in [t.last_acc]
+   instead of returning a tuple: the learned and tree paths return a
+   preallocated entry option, so the compiled walk stays allocation-free
+   through here. *)
+let shaped_probe t s pkt =
+  if s.plan_stale then select_plan t s;
+  match s.plan with
+  | P_learned l -> learned_find t l (Packet.get pkt (Array.unsafe_get t.fields 0))
+  | P_tree tr ->
+    let vals = read_values t pkt in
+    t.last_acc <- tr.t_acc;
+    tree_descend tr vals 0
+  | P_waldvogel p ->
+    let vals = read_values t pkt in
+    let r, a = plan_lookup p vals s.ngroups in
+    t.last_acc <- a;
+    r
+  | P_none ->
+    let vals = read_values t pkt in
+    let r, a =
+      if s.lpm_ordered then lpm_linear_probe s vals else ternary_probe ~skip:true s vals
+    in
+    t.last_acc <- a;
+    r
+
 let shaped_lookup ~use_plan t s pkt =
-  let vals = read_values t pkt in
-  if s.lpm_ordered then begin
-    if use_plan && s.plan_stale then build_plan s;
-    match if use_plan then s.plan else None with
-    | Some plan -> plan_lookup plan vals s.ngroups
-    | None -> lpm_linear_probe s vals
+  if use_plan then begin
+    let r = shaped_probe t s pkt in
+    (r, t.last_acc)
   end
-  else ternary_probe ~skip:use_plan s vals
+  else begin
+    let vals = read_values t pkt in
+    if s.lpm_ordered then lpm_linear_probe s vals else ternary_probe ~skip:false s vals
+  end
 
 (* --- compiled exact-probe index --- *)
 
@@ -630,6 +1221,55 @@ let exact_probe t =
            let vals = read_values t pkt in
            xindex_find idx vals (hash_exact vals))
   | Exact_lru _ | Shaped _ | Linear _ -> None
+
+let plan_probe t =
+  match t.backend with
+  | Shaped s -> Some (fun pkt -> shaped_probe t s pkt)
+  | Exact_hash _ | Exact_lru _ | Linear _ -> None
+
+let last_accesses t = t.last_acc
+
+let set_backend_hint t hint =
+  match t.backend with
+  | Shaped s ->
+    if s.hint <> hint then begin
+      s.hint <- hint;
+      invalidate_plan s
+    end
+  | Exact_hash _ | Exact_lru _ | Linear _ -> ()
+
+let backend_hint t =
+  match t.backend with Shaped s -> s.hint | Exact_hash _ | Exact_lru _ | Linear _ -> Auto
+
+let plan_kind t =
+  match t.backend with
+  | Exact_hash _ -> "exact-hash"
+  | Exact_lru _ -> "exact-lru"
+  | Linear _ -> "linear"
+  | Shaped s ->
+    if s.plan_stale then select_plan t s;
+    (match s.plan with
+     | P_learned _ -> "learned"
+     | P_tree _ -> "tree"
+     | P_waldvogel _ -> "waldvogel"
+     | P_none -> if s.lpm_ordered then "lpm-linear" else "ternary-skip")
+
+let plan_stats t =
+  match t.backend with
+  | Exact_hash _ | Exact_lru _ | Linear _ -> []
+  | Shaped s ->
+    if s.plan_stale then select_plan t s;
+    (match s.plan with
+     | P_learned l ->
+       [ ("segments", Array.length l.seg_key);
+         ("intervals", Array.length l.l_bounds);
+         ("remainder", Array.length l.r_bounds) ]
+     | P_tree tr ->
+       [ ("tree_nodes", Array.length tr.tn / 3);
+         ("tree_candidates", Array.length tr.c_ent);
+         ("tree_max_leaf", tr.t_maxleaf) ]
+     | P_waldvogel p -> [ ("positions", Array.length p.pmasks) ]
+     | P_none -> [])
 
 let lookup_gen ~use_plan t pkt =
   match t.backend with
@@ -718,6 +1358,7 @@ let delete t ~patterns =
          (fun (k, bucket) ->
            removed := true;
            let survivors = List.filter (fun (s0 : slot) -> not (matches s0.entry)) bucket in
+           s.nentries <- s.nentries - (List.length bucket - List.length survivors);
            if survivors = [] then Hashtbl.remove g.tbl k else Hashtbl.replace g.tbl k survivors)
          victims
      done;
@@ -741,6 +1382,7 @@ let load_entries t new_entries =
   | Shaped s ->
     s.groups <- [||];
     s.ngroups <- 0;
+    s.nentries <- 0;
     invalidate_plan s;
     List.iter (fun e -> shaped_insert s t.table e) new_entries
 
@@ -766,7 +1408,10 @@ let entries t =
     done;
     !acc
 
-let num_entries t = List.length (entries t)
+let num_entries t =
+  match t.backend with
+  | Shaped s -> s.nentries  (* tracked exactly; avoids building the list *)
+  | Exact_hash _ | Exact_lru _ | Linear _ -> List.length (entries t)
 
 let shape_groups t =
   match t.backend with Shaped s -> s.ngroups | Exact_hash _ | Exact_lru _ | Linear _ -> 0
@@ -790,7 +1435,9 @@ let copy t =
         { groups = Array.init s.ngroups (fun i -> copy_group s.groups.(i));
           ngroups = s.ngroups;
           lpm_ordered = s.lpm_ordered;
-          plan = None;
+          nentries = s.nentries;
+          hint = s.hint;
+          plan = P_none;
           plan_stale = true }
   in
   { t with backend; scratch = Array.copy t.scratch }
@@ -825,4 +1472,5 @@ let invalidate t =
   | Shaped s ->
     s.groups <- [||];
     s.ngroups <- 0;
+    s.nentries <- 0;
     invalidate_plan s

@@ -10,6 +10,15 @@
 
 type t
 
+type backend_hint = Auto | Force_linear | Force_waldvogel | Force_learned | Force_tree
+(** Override for the per-table plan selector (LPM/ternary backends
+    only). [Auto] picks from the entry count and match kind at
+    plan-build time: big single-key LPM tables get the learned-index
+    plan, big ternary tables the decision tree, medium LPM tables the
+    Waldvogel binary search, everything else the straight probe. A
+    forced hint that does not apply to the table's shape (e.g.
+    [Force_learned] on a ternary table) falls back to [Auto]'s choice. *)
+
 val create : P4ir.Table.t -> t
 (** Engine initialized with the table's static entries. *)
 
@@ -18,10 +27,13 @@ val def : t -> P4ir.Table.t
 
 val lookup : t -> Packet.t -> P4ir.Table.entry option * int
 (** Match result plus the number of memory accesses performed. A miss in
-    a shaped table costs one access per probed hash table. LPM tables
-    with enough prefix-length groups are probed via a compiled binary
-    search on prefix lengths (Waldvogel); the reported access count is
-    still that of the modeled longest-first linear probe. *)
+    a shaped table costs one access per probed hash table. Shaped tables
+    are probed through a compiled plan chosen per table (see
+    {!backend_hint}): Waldvogel binary search, learned-index LPM, or a
+    ternary decision tree. Whatever the plan, the reported access count
+    stays that of the modeled hardware — the longest-first linear probe
+    for LPM, one probe per mask group for ternary — so the cost model is
+    unaffected by host-side shortcuts. *)
 
 val lookup_linear : t -> Packet.t -> P4ir.Table.entry option * int
 (** {!lookup} with the compiled binary-search plan disabled: always the
@@ -38,6 +50,56 @@ val exact_probe : t -> (Packet.t -> P4ir.Table.entry option) option
     stale and the next probe rebuilds it, so a captured probe closure
     stays valid across control-plane updates. [None] for cache, shaped
     and linear backends, which must keep going through {!lookup}. *)
+
+val plan_probe : t -> (Packet.t -> P4ir.Table.entry option) option
+(** [Some probe] iff this engine is a shaped (LPM/ternary) backend.
+    [probe pkt] returns exactly what {!lookup} would — the same physical
+    entries — through the table's compiled plan, leaving the modeled
+    access count in {!last_accesses} instead of allocating a result
+    tuple. The learned-index and decision-tree plans return preallocated
+    entry options, so those probes allocate nothing. Like
+    {!exact_probe}, the closure reads live state: any control-plane
+    mutation (or {!set_backend_hint}) marks the plan stale and the next
+    probe rebuilds it. [None] for exact, cache and linear backends. *)
+
+val last_accesses : t -> int
+(** Modeled memory accesses of the most recent {!plan_probe} (or
+    {!lookup}) on a shaped backend. Meaningful immediately after a
+    probe; pairs with {!plan_probe} to keep the compiled walk free of
+    result tuples. *)
+
+val set_backend_hint : t -> backend_hint -> unit
+(** Override the plan selector for this table and mark the current plan
+    stale (the next lookup rebuilds under the new hint). No-op on
+    non-shaped backends. *)
+
+val backend_hint : t -> backend_hint
+(** Current hint; [Auto] for non-shaped backends. *)
+
+val plan_kind : t -> string
+(** Which backend the table is currently running, building the plan
+    first if stale: ["exact-hash"], ["exact-lru"], ["linear"],
+    ["waldvogel"], ["learned"], ["tree"], ["lpm-linear"] or
+    ["ternary-skip"]. For tests and diagnostics. *)
+
+val plan_stats : t -> (string * int) list
+(** Size counters of the current compiled plan (builds it if stale):
+    segments/intervals/remainder for the learned plan,
+    tree_nodes/tree_candidates/tree_max_leaf for the decision tree,
+    positions for Waldvogel; [[]] otherwise. *)
+
+val learned_threshold : int
+(** Entry count at which [Auto] switches a single-key LPM table to the
+    learned-index plan. *)
+
+val tree_threshold : int
+(** Entry count at which [Auto] switches a multi-group ternary table to
+    the decision-tree plan. Degenerate mask sets are guarded against:
+    if the built tree's worst leaf scan ([tree_max_leaf] in
+    {!plan_stats}) is not competitive with the skip probe's per-group
+    cost — masks sharing no bits exhaust the wildcard-duplication
+    budget and leave giant leaves — [Auto] discards the tree and keeps
+    the skip probe. [Force_tree] bypasses the guard. *)
 
 val insert : t -> P4ir.Table.entry -> unit
 (** Control-plane insert; bumps the update counter.

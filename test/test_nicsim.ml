@@ -501,6 +501,200 @@ let test_lpm_plan_matches_linear () =
   ignore (Nicsim.Engine.delete eng ~patterns:[ P4ir.Pattern.Lpm (0xDEADBEECL, 30) ]);
   agree 0xDEADBEEFL
 
+(* --- rule-scale plan selection --- *)
+
+(* [n] distinct prefixes spread over 8 lengths (17..24): enough groups
+   for every LPM plan, sized to straddle the auto-selection threshold. *)
+let big_lpm_table n =
+  let per = n / 8 in
+  P4ir.Table.make ~name:"big" ~keys:lpm_key
+    ~actions:[ P4ir.Action.nop "hit"; P4ir.Action.nop "def" ]
+    ~default_action:"def"
+    ~entries:
+      (List.concat
+         (List.init 8 (fun l ->
+              let len = 17 + l in
+              List.init
+                (per + if l = 0 then n mod 8 else 0)
+                (fun i -> lpm_entry ~len (Int64.shift_left (Int64.of_int (i + 1)) (32 - len))))))
+    ()
+
+(* Masks share their top twelve bits, as structured ACL mask sets do —
+   the auto selector's degeneracy guard would (correctly) refuse a tree
+   over masks with no common bits; see [test_tree_degeneracy_guard]. *)
+let big_ternary_table n =
+  let masks = [| 0xFFFFFF00L; 0xFFFF00FFL; 0xFFF0FF0FL; 0xFFFFFFF0L |] in
+  let per = n / 4 in
+  P4ir.Table.make ~name:"bigt"
+    ~keys:[ P4ir.Table.key P4ir.Field.Ipv4_dst P4ir.Match_kind.Ternary ]
+    ~actions:[ P4ir.Action.nop "hit"; P4ir.Action.nop "def" ]
+    ~default_action:"def"
+    ~entries:
+      (List.concat
+         (List.init 4 (fun m ->
+              List.init
+                (per + if m = 0 then n mod 4 else 0)
+                (fun i ->
+                  P4ir.Table.entry ~priority:((m * per) + i)
+                    [ P4ir.Pattern.Ternary
+                        (Int64.logand (Int64.of_int ((i + 1) * 2654435761)) masks.(m), masks.(m))
+                    ]
+                    "hit"))))
+    ()
+
+let test_plan_selector_thresholds () =
+  let eng = Nicsim.Engine.create (big_lpm_table Nicsim.Engine.learned_threshold) in
+  check_string "lpm at threshold" "learned" (Nicsim.Engine.plan_kind eng);
+  let eng = Nicsim.Engine.create (big_lpm_table (Nicsim.Engine.learned_threshold - 1)) in
+  check_string "lpm below threshold" "waldvogel" (Nicsim.Engine.plan_kind eng);
+  let eng = Nicsim.Engine.create (big_ternary_table Nicsim.Engine.tree_threshold) in
+  check_string "ternary at threshold" "tree" (Nicsim.Engine.plan_kind eng);
+  let eng = Nicsim.Engine.create (big_ternary_table (Nicsim.Engine.tree_threshold - 1)) in
+  check_string "ternary below threshold" "ternary-skip" (Nicsim.Engine.plan_kind eng)
+
+let plan_agrees_with_linear eng probe =
+  let pkt = pkt_dst probe in
+  let plan_hit, plan_acc = Nicsim.Engine.lookup eng pkt in
+  let lin_hit, lin_acc = Nicsim.Engine.lookup_linear eng pkt in
+  check_bool
+    (Printf.sprintf "plan = linear at %Lx" probe)
+    true
+    ((match (plan_hit, lin_hit) with
+      | None, None -> true
+      | Some a, Some b -> a.P4ir.Table.patterns = b.P4ir.Table.patterns
+      | _ -> false)
+    && plan_acc = lin_acc)
+
+let test_backend_hint_override () =
+  let eng = Nicsim.Engine.create (big_lpm_table 256) in
+  check_string "auto picks waldvogel" "waldvogel" (Nicsim.Engine.plan_kind eng);
+  (* A forced hint beats the entry-count threshold... *)
+  Nicsim.Engine.set_backend_hint eng Nicsim.Engine.Force_learned;
+  check_bool "hint recorded" true
+    (Nicsim.Engine.backend_hint eng = Nicsim.Engine.Force_learned);
+  check_string "forced learned" "learned" (Nicsim.Engine.plan_kind eng);
+  for i = 0 to 200 do
+    plan_agrees_with_linear eng (Int64.logand (Stdx.Prng.mix64 (Int64.of_int i)) 0xFFFFFFFFL)
+  done;
+  Nicsim.Engine.set_backend_hint eng Nicsim.Engine.Force_linear;
+  check_string "forced linear" "lpm-linear" (Nicsim.Engine.plan_kind eng);
+  (* ...but a hint the table's shape cannot honour falls back to Auto. *)
+  Nicsim.Engine.set_backend_hint eng Nicsim.Engine.Force_tree;
+  check_string "inapplicable hint falls back" "waldvogel" (Nicsim.Engine.plan_kind eng);
+  Nicsim.Engine.set_backend_hint eng Nicsim.Engine.Auto;
+  check_string "back to auto" "waldvogel" (Nicsim.Engine.plan_kind eng);
+  (* Hints are a shaped-backend concept; exact tables ignore them. *)
+  let ex =
+    Nicsim.Engine.create
+      (P4ir.Table.make ~name:"e"
+         ~keys:[ P4ir.Table.key P4ir.Field.Ipv4_dst P4ir.Match_kind.Exact ]
+         ~actions:[ P4ir.Action.nop "hit"; P4ir.Action.nop "def" ]
+         ~default_action:"def"
+         ~entries:[ P4ir.Table.entry [ P4ir.Pattern.Exact 5L ] "hit" ]
+         ())
+  in
+  Nicsim.Engine.set_backend_hint ex Nicsim.Engine.Force_tree;
+  check_bool "exact stays Auto" true (Nicsim.Engine.backend_hint ex = Nicsim.Engine.Auto);
+  check_string "exact kind unchanged" "exact-hash" (Nicsim.Engine.plan_kind ex)
+
+let test_plan_staleness () =
+  let eng = Nicsim.Engine.create (empty_lpm_table ()) in
+  Nicsim.Engine.set_backend_hint eng Nicsim.Engine.Force_learned;
+  Nicsim.Engine.insert eng (lpm_entry ~len:16 0x0A0B0000L);
+  check_string "learned from the start" "learned" (Nicsim.Engine.plan_kind eng);
+  check_bool "/16 hit" true (fst (Nicsim.Engine.lookup eng (pkt_dst 0x0A0B0C0DL)) <> None);
+  (* Every control-plane mutation must invalidate the compiled plan. *)
+  Nicsim.Engine.insert eng (lpm_entry ~len:24 0x0A0B0C00L);
+  (match fst (Nicsim.Engine.lookup eng (pkt_dst 0x0A0B0C0DL)) with
+   | Some e ->
+     check_bool "rebuilt after insert" true
+       (e.P4ir.Table.patterns = [ P4ir.Pattern.Lpm (0x0A0B0C00L, 24) ])
+   | None -> Alcotest.fail "expected hit after insert");
+  ignore (Nicsim.Engine.delete eng ~patterns:[ P4ir.Pattern.Lpm (0x0A0B0C00L, 24) ]);
+  (match fst (Nicsim.Engine.lookup eng (pkt_dst 0x0A0B0C0DL)) with
+   | Some e ->
+     check_bool "rebuilt after delete" true
+       (e.P4ir.Table.patterns = [ P4ir.Pattern.Lpm (0x0A0B0000L, 16) ])
+   | None -> Alcotest.fail "expected /16 hit after delete");
+  Nicsim.Engine.load_entries eng [ lpm_entry ~len:8 0x0B000000L ];
+  check_int "reloaded entry count" 1 (Nicsim.Engine.num_entries eng);
+  check_bool "rebuilt after load_entries" true
+    (fst (Nicsim.Engine.lookup eng (pkt_dst 0x0B123456L)) <> None);
+  check_bool "old entries gone" true
+    (fst (Nicsim.Engine.lookup eng (pkt_dst 0x0A0B0C0DL)) = None);
+  Nicsim.Engine.invalidate eng;
+  check_int "invalidated" 0 (Nicsim.Engine.num_entries eng);
+  check_bool "rebuilt after invalidate" true
+    (fst (Nicsim.Engine.lookup eng (pkt_dst 0x0B123456L)) = None)
+
+let test_learned_remainder_store () =
+  (* A dense run of /32 hosts makes the piecewise-linear fit trivial;
+     one far outlier then ends the key space with a sub-[learned_min_run]
+     segment, which must be diverted to the sorted remainder store
+     rather than earning (badly-fitting) coefficients. *)
+  let eng = Nicsim.Engine.create (empty_lpm_table ()) in
+  Nicsim.Engine.set_backend_hint eng Nicsim.Engine.Force_learned;
+  for i = 0 to 159 do
+    Nicsim.Engine.insert eng (lpm_entry ~len:32 (Int64.of_int (0x0A000000 + i)))
+  done;
+  Nicsim.Engine.insert eng (lpm_entry ~len:32 0x30000000L);
+  check_string "still learned" "learned" (Nicsim.Engine.plan_kind eng);
+  let stats = Nicsim.Engine.plan_stats eng in
+  check_bool "remainder store populated" true (List.assoc "remainder" stats > 0);
+  List.iter (plan_agrees_with_linear eng)
+    [ 0L; 0x09FFFFFFL; 0x0A000000L; 0x0A00009FL; 0x0A0000A0L; 0x2FFFFFFFL; 0x30000000L;
+      0x30000001L; 0xFFFFFFFFL ]
+
+let test_tree_degeneracy_guard () =
+  (* Complement-pair masks: every key bit is wildcarded by half the
+     mask groups, so any split duplicates half the candidates — the
+     duplication budget dies near the root and leaves stay huge. Auto
+     must refuse that tree and keep the skip probe; a forced hint
+     builds it anyway and must still agree with the reference probe. *)
+  let masks =
+    [| 0xFFFF0000L; 0x0000FFFFL; 0xFF00FF00L; 0x00FF00FFL;
+       0xF0F0F0F0L; 0x0F0F0F0FL; 0xCCCCCCCCL; 0x33333333L |]
+  in
+  let n = 2 * Nicsim.Engine.tree_threshold in
+  let per = n / 8 in
+  (* Distinct patterns per mask: an odd-multiplier bijection of the
+     index deposited into the mask's 16 set bit positions. *)
+  let deposit mask x =
+    let v = ref 0L and bit = ref 0 in
+    for b = 0 to 31 do
+      if Int64.equal (Int64.logand (Int64.shift_right_logical mask b) 1L) 1L then begin
+        if (x lsr !bit) land 1 = 1 then v := Int64.logor !v (Int64.shift_left 1L b);
+        incr bit
+      end
+    done;
+    !v
+  in
+  let tab =
+    P4ir.Table.make ~name:"degen"
+      ~keys:[ P4ir.Table.key P4ir.Field.Ipv4_dst P4ir.Match_kind.Ternary ]
+      ~actions:[ P4ir.Action.nop "hit"; P4ir.Action.nop "def" ]
+      ~default_action:"def"
+      ~entries:
+        (List.concat
+           (List.init 8 (fun m ->
+                List.init per (fun i ->
+                    P4ir.Table.entry ~priority:((m * per) + i)
+                      [ P4ir.Pattern.Ternary
+                          (deposit masks.(m) (i * 2654435761 land 0xFFFF), masks.(m))
+                      ]
+                      "hit"))))
+      ()
+  in
+  let eng = Nicsim.Engine.create tab in
+  check_string "auto refuses degenerate tree" "ternary-skip" (Nicsim.Engine.plan_kind eng);
+  Nicsim.Engine.set_backend_hint eng Nicsim.Engine.Force_tree;
+  check_string "forced tree bypasses the guard" "tree" (Nicsim.Engine.plan_kind eng);
+  check_bool "leaves actually degenerate" true
+    (List.assoc "tree_max_leaf" (Nicsim.Engine.plan_stats eng) > 4 * 8);
+  for i = 0 to 100 do
+    plan_agrees_with_linear eng (Int64.logand (Stdx.Prng.mix64 (Int64.of_int i)) 0xFFFFFFFFL)
+  done
+
 let test_engine_copy_independent () =
   let eng = Nicsim.Engine.create (empty_lpm_table ()) in
   Nicsim.Engine.insert eng (lpm_entry ~len:8 0x0A000000L);
@@ -680,6 +874,11 @@ let () =
       ( "fast-path",
         [ Alcotest.test_case "shaped insert ordering" `Quick test_shaped_insert_ordering;
           Alcotest.test_case "lpm plan = linear probe" `Quick test_lpm_plan_matches_linear;
+          Alcotest.test_case "plan selector thresholds" `Quick test_plan_selector_thresholds;
+          Alcotest.test_case "backend hint override" `Quick test_backend_hint_override;
+          Alcotest.test_case "plan staleness on mutation" `Quick test_plan_staleness;
+          Alcotest.test_case "learned remainder store" `Quick test_learned_remainder_store;
+          Alcotest.test_case "tree degeneracy guard" `Quick test_tree_degeneracy_guard;
           Alcotest.test_case "engine copy independent" `Quick test_engine_copy_independent;
           Alcotest.test_case "prng fork deterministic" `Quick test_prng_fork_deterministic;
           Alcotest.test_case "batched window bit-identical" `Quick

@@ -147,6 +147,76 @@ let test_lpm_plan_equals_linear =
       | Some a, Some b -> a.P4ir.Table.patterns = b.P4ir.Table.patterns
       | _ -> false)
 
+(* The learned-index plan is auto-selected only above
+   [Engine.learned_threshold] entries, so random small tables would
+   never exercise it: force it. Result entry AND modeled access count
+   must equal the longest-first linear probe on every table, including
+   miss-heavy probes outside the populated prefix ranges. *)
+let test_learned_plan_equals_linear =
+  qtest ~count:300 "forced learned-index plan = linear probe"
+    QCheck2.Gen.(pair lpm_plan_gen (map Int64.of_int int))
+    (fun (tab, probe) ->
+      let probe = P4ir.Value.truncate ~width:32 probe in
+      let eng = Nicsim.Engine.create tab in
+      Nicsim.Engine.set_backend_hint eng Nicsim.Engine.Force_learned;
+      let pkt = Nicsim.Packet.of_fields [ (P4ir.Field.Ipv4_dst, probe) ] in
+      let plan_hit, plan_acc = Nicsim.Engine.lookup eng pkt in
+      let lin_hit, lin_acc = Nicsim.Engine.lookup_linear eng pkt in
+      String.equal (Nicsim.Engine.plan_kind eng) "learned"
+      && plan_acc = lin_acc
+      &&
+      match (plan_hit, lin_hit) with
+      | None, None -> true
+      | Some a, Some b -> a.P4ir.Table.patterns = b.P4ir.Table.patterns
+      | _ -> false)
+
+(* Random single-key ternary tables over a small mask pool with unique
+   priorities — several mask groups, overlapping matches, wildcard
+   duplication in the tree. *)
+let ternary_plan_gen =
+  let open QCheck2.Gen in
+  let masks = [| 0x3FL; 0x3F00L; 0xFFFFL; 0xF0F0L; 0x0FF0L |] in
+  list_size (int_range 1 40) (pair (int_range 0 4) (map Int64.of_int int))
+  >>= fun raw ->
+  let entries =
+    List.mapi
+      (fun i (mi, v) ->
+        P4ir.Table.entry ~priority:i
+          [ P4ir.Pattern.Ternary (Int64.logand v masks.(mi), masks.(mi)) ]
+          "hit")
+      raw
+  in
+  let entries =
+    List.fold_left
+      (fun acc (e : P4ir.Table.entry) ->
+        if List.exists (fun (x : P4ir.Table.entry) -> x.patterns = e.patterns) acc then acc
+        else e :: acc)
+      [] entries
+    |> List.rev
+  in
+  return
+    (P4ir.Table.make ~name:"t"
+       ~keys:[ P4ir.Table.key P4ir.Field.Ipv4_dst P4ir.Match_kind.Ternary ]
+       ~actions:[ P4ir.Action.nop "hit"; P4ir.Action.nop "fallback" ]
+       ~default_action:"fallback" ~entries ())
+
+let test_tree_plan_equals_linear =
+  qtest ~count:300 "forced decision-tree plan = skip probe"
+    QCheck2.Gen.(pair ternary_plan_gen (int_range 0 0xFFFF))
+    (fun (tab, probe) ->
+      let eng = Nicsim.Engine.create tab in
+      Nicsim.Engine.set_backend_hint eng Nicsim.Engine.Force_tree;
+      let pkt = Nicsim.Packet.of_fields [ (P4ir.Field.Ipv4_dst, Int64.of_int probe) ] in
+      let plan_hit, plan_acc = Nicsim.Engine.lookup eng pkt in
+      let lin_hit, lin_acc = Nicsim.Engine.lookup_linear eng pkt in
+      String.equal (Nicsim.Engine.plan_kind eng) "tree"
+      && plan_acc = lin_acc
+      &&
+      match (plan_hit, lin_hit) with
+      | None, None -> true
+      | Some a, Some b -> a.P4ir.Table.priority = b.P4ir.Table.priority
+      | _ -> false)
+
 (* --- window drivers --- *)
 
 let window_stats_bits (s : Nicsim.Sim.window_stats) =
@@ -479,7 +549,9 @@ let () =
   Alcotest.run "properties"
     [ ( "bits",
         [ test_truncate_idempotent; test_lpm_equals_ternary; test_prefix_mask_popcount ] );
-      ("engines", [ test_engine_matches_reference; test_lpm_plan_equals_linear ]);
+      ( "engines",
+        [ test_engine_matches_reference; test_lpm_plan_equals_linear;
+          test_learned_plan_equals_linear; test_tree_plan_equals_linear ] );
       ("window-drivers", [ test_window_drivers_identical ]);
       ("costmodel", [ test_node_sum_equals_paths; test_reach_probs_bounded ]);
       ( "optimizer",
